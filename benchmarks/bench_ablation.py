@@ -1,0 +1,12 @@
+"""Benchmarks: storage-stack and device-model-term ablations."""
+
+from repro.experiments import ablation_model, ablation_stacks
+
+
+def test_ablation_stacks(run_experiment):
+    result = run_experiment(ablation_stacks.run)
+
+
+def test_ablation_model(run_experiment):
+    result = run_experiment(ablation_model.run)
+    assert result.data["no_mix_best"].startswith("P")

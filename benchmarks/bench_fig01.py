@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 1 (motivation)."""
+
+from repro.experiments import fig01_motivation
+
+
+def test_fig01_motivation(run_experiment):
+    result = run_experiment(fig01_motivation.run)
+    assert result.data["ro_normalized_under_mm_best"] > 1.0

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 3 (workflow parameter space)."""
+
+from repro.experiments import fig03_parameter_space
+
+
+def test_fig03_parameter_space(run_experiment):
+    result = run_experiment(fig03_parameter_space.run)
+    assert result.data["axis_values"]["object_size"] == ["large", "small"]

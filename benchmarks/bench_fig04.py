@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 4 (64 MB microbenchmark runtimes)."""
+
+from repro.experiments import fig04_micro64mb
+
+
+def test_fig04_micro64mb(run_experiment):
+    result = run_experiment(fig04_micro64mb.run)
+    # S-LocW wins all three panels (Fig. 4a-c).
+    for ranks in (8, 16, 24):
+        assert result.data[f"best@{ranks}"] == "S-LocW"

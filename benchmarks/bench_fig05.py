@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 5 (2 KB microbenchmark runtimes)."""
+
+from repro.experiments import fig05_micro2k
+
+
+def test_fig05_micro2k(run_experiment):
+    # 5/6 claims: the serial-vs-parallel margin at 24 threads reproduces in
+    # direction but overshoots the paper's 11.5 % (see EXPERIMENTS.md).
+    result = run_experiment(fig05_micro2k.run, min_claims_held=5)
+    assert result.data["best@8"] == "P-LocR"
+    assert result.data["best@16"] == "P-LocR"
+    assert result.data["best@24"] == "S-LocR"

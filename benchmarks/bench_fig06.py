@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 6 (GTC + Read-Only runtimes)."""
+
+from repro.experiments import fig06_gtc_readonly
+
+
+def test_fig06_gtc_readonly(run_experiment):
+    result = run_experiment(fig06_gtc_readonly.run)
+    assert result.data["best@8"] == "P-LocR"
+    assert result.data["best@16"] == "S-LocR"
+    assert result.data["best@24"] == "S-LocW"

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 7 (GTC + MatrixMult runtimes)."""
+
+from repro.experiments import fig07_gtc_matmult
+
+
+def test_fig07_gtc_matmult(run_experiment):
+    result = run_experiment(fig07_gtc_matmult.run)
+    assert result.data["best@8"] == "P-LocR"
+    assert result.data["best@16"] == "P-LocR"
+    assert result.data["best@24"] == "S-LocW"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 8 (miniAMR + Read-Only runtimes)."""
+
+from repro.experiments import fig08_miniamr_readonly
+
+
+def test_fig08_miniamr_readonly(run_experiment):
+    # 4/5 claims: the S-LocR margin at 16 threads reproduces in direction
+    # but overshoots the paper's 6 % (see EXPERIMENTS.md).
+    result = run_experiment(fig08_miniamr_readonly.run, min_claims_held=4)
+    assert result.data["best@8"] == "P-LocR"
+    assert result.data["best@16"] == "S-LocR"
+    assert result.data["best@24"] == "S-LocW"

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 9 (miniAMR + MatrixMult runtimes).
+
+Known deviation: at 16 ranks our simulation prefers P-LocR where the paper
+reports S-LocW (documented in EXPERIMENTS.md), so this benchmark requires
+all claims except that panel's winner.
+"""
+
+from repro.experiments import fig09_miniamr_matmult
+
+
+def test_fig09_miniamr_matmult(run_experiment):
+    result = run_experiment(fig09_miniamr_matmult.run, min_claims_held=3)
+    assert result.data["best@8"] == "P-LocW"
+    assert result.data["best@24"] == "S-LocW"
+    # Fig 9b near-miss: the paper's pick must stay within 15 % of our best.
+    assert result.data["normalized@16"]["S-LocW"] <= 1.15

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 10 (normalized runtimes, all app workflows)."""
+
+from repro.experiments import fig10_normalized
+
+
+def test_fig10_normalized(run_experiment):
+    result = run_experiment(fig10_normalized.run)
+    assert len(result.data["winners"]) >= 3

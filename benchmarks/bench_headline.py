@@ -1,0 +1,8 @@
+"""Benchmark: the headline up-to-69/70 % configuration-impact claim."""
+
+from repro.experiments import headline
+
+
+def test_headline_improvement(run_experiment):
+    result = run_experiment(headline.run)
+    assert result.data["max_improvement"] >= 0.5

@@ -1,0 +1,28 @@
+"""Benchmarks: raw simulator throughput (not a paper artifact).
+
+Tracks the cost of the discrete-event substrate itself so regressions in
+the flow solver or engine are visible: one medium workflow end to end, and
+one solver-heavy small-object workflow.
+"""
+
+from repro.apps.gtc import gtc_workflow
+from repro.apps.microbench import micro_workflow
+from repro.core.configs import P_LOCR, S_LOCW
+from repro.units import KiB, MiB
+from repro.workflow.runner import run_workflow
+
+
+def test_simulate_gtc_workflow(benchmark):
+    spec = gtc_workflow(ranks=16, iterations=5)
+    result = benchmark.pedantic(
+        run_workflow, args=(spec, P_LOCR), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result.makespan > 0
+
+
+def test_simulate_small_object_workflow(benchmark):
+    spec = micro_workflow(2 * KiB, ranks=16, iterations=5)
+    result = benchmark.pedantic(
+        run_workflow, args=(spec, S_LOCW), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert result.makespan > 0

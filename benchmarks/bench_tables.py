@@ -1,0 +1,13 @@
+"""Benchmarks: regenerate Table I and Table II."""
+
+from repro.experiments import table01_configs, table02_recommendations
+
+
+def test_table01_configs(run_experiment):
+    result = run_experiment(table01_configs.run)
+    assert result.data["configs"] == ["S-LocW", "S-LocR", "P-LocW", "P-LocR"]
+
+
+def test_table02_recommendations(run_experiment):
+    result = run_experiment(table02_recommendations.run)
+    assert result.data["table_hits"] == 18

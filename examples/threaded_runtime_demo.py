@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Real execution: an actual NumPy producer/consumer pair, orchestrated.
+
+Everything in the other examples runs in virtual time.  This demo executes
+a *real* coupled pipeline with the threaded runtime: writer threads produce
+NumPy field snapshots, reader threads consume them through the versioned
+in-memory channel (with ring back-pressure), under both serial and parallel
+execution modes.  With device emulation on, the modelled Optane transfer
+times are replayed (scaled 200x faster) so the serial/parallel and
+local/remote contrasts are visible in wall-clock time.
+
+Run:  python examples/threaded_runtime_demo.py
+"""
+
+import numpy as np
+
+from repro import ALL_CONFIGS, SnapshotSpec, WorkflowSpec
+from repro.runtime import ThreadedWorkflow
+from repro.units import MiB
+
+RANKS = 4
+ITERATIONS = 5
+FIELD_CELLS = 64 * 1024  # 512 KiB of float64 per object
+
+
+def writer_fn(rank: int, iteration: int):
+    """Produce this rank's snapshot: a noisy travelling wave field."""
+    x = np.linspace(0.0, 2 * np.pi, FIELD_CELLS)
+    field = np.sin(x + 0.3 * iteration + rank) + 0.01 * np.cos(5 * x)
+    return field
+
+
+def reader_fn(rank: int, iteration: int, field: np.ndarray):
+    """Analytics: spectral energy in the lowest modes (a real FFT)."""
+    spectrum = np.abs(np.fft.rfft(field)[:8])
+    return float(spectrum.sum())
+
+
+def main() -> None:
+    spec = WorkflowSpec(
+        name=f"wave+spectra@{RANKS}",
+        ranks=RANKS,
+        iterations=ITERATIONS,
+        snapshot=SnapshotSpec(object_bytes=int(0.5 * MiB), objects_per_snapshot=1),
+    )
+
+    print(f"Running {spec.name}: {RANKS} writer + {RANKS} reader threads, "
+          f"{ITERATIONS} iterations of real NumPy work\n")
+
+    workflow = ThreadedWorkflow(
+        spec,
+        writer_fn,
+        reader_fn,
+        emulate_device=True,
+        time_scale=0.005,  # replay modelled PMEM timing 200x faster
+    )
+    for config in ALL_CONFIGS:
+        result = workflow.run(config)
+        status = "ok" if result.ok else f"FAILED ({result.errors[0]})"
+        print(
+            f"{config.label}: makespan {result.makespan_seconds * 1000:7.1f} ms "
+            f"(writers {result.writer_seconds * 1000:6.1f} ms)  [{status}]"
+        )
+
+    # Show one analytics output to prove real data flowed end to end.
+    sample = result.reader_outputs[(0, ITERATIONS - 1)]
+    print(f"\nSample analytics output (rank 0, last iteration): "
+          f"low-mode spectral energy = {sample:.1f}")
+    print("Serial configurations should show a longer makespan than the "
+          "parallel ones here: with only 4 ranks the modelled device is "
+          "uncontended, so overlap wins — exactly the paper's low-concurrency "
+          "recommendation.")
+
+
+if __name__ == "__main__":
+    main()

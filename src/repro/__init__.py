@@ -1,0 +1,94 @@
+"""repro — PMEM-aware in situ HPC workflow scheduling.
+
+A reproduction of *"Scheduling HPC Workflows with Intel Optane Persistent
+Memory"* (Venkatesh, Mason, Fernando, Eisenhauer, Gavrilovska; IPDPS
+Workshops 2021) as a production-quality Python library:
+
+* a calibrated fluid-flow simulator of a dual-socket Optane platform
+  (:mod:`repro.sim`, :mod:`repro.platform`, :mod:`repro.pmem`);
+* models of the NOVAfs and NVStream PMEM software stacks and the versioned
+  streaming channel (:mod:`repro.storage`);
+* the in situ workflow model and runner (:mod:`repro.workflow`);
+* the paper's contribution — the four scheduler configurations, the
+  Table II recommendation engine, the quantified §VIII cost model, and the
+  end-to-end scheduler (:mod:`repro.core`);
+* the 18-workflow evaluation suite (:mod:`repro.apps`) and an experiment
+  harness regenerating every figure and table (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import WorkflowScheduler, gtc_workflow
+
+    scheduler = WorkflowScheduler()
+    outcome = scheduler.schedule(gtc_workflow(ranks=16), with_oracle=True)
+    print(outcome.recommendation.config, outcome.result.makespan, outcome.regret)
+"""
+
+from repro.apps import (
+    gtc_matrixmult_kernel,
+    gtc_workflow,
+    micro_workflow,
+    miniamr_matrixmult_kernel,
+    miniamr_workflow,
+    read_only_kernel,
+    workflow_suite,
+)
+from repro.core import (
+    ALL_CONFIGS,
+    P_LOCR,
+    P_LOCW,
+    S_LOCR,
+    S_LOCW,
+    ExecutionMode,
+    ExhaustiveTuner,
+    Placement,
+    RecommendationEngine,
+    SchedulerConfig,
+    WorkflowScheduler,
+    extract_features,
+)
+from repro.metrics import RunResult, best_config, compare_configs, normalized_runtimes
+from repro.platform import Node, paper_testbed
+from repro.pmem import DEFAULT_CALIBRATION, OptaneCalibration, OptaneDevice
+from repro.storage import NVStream, NovaFS, SnapshotSpec, StreamChannel
+from repro.workflow import WorkflowSpec, component_iteration_profile, run_workflow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_CONFIGS",
+    "DEFAULT_CALIBRATION",
+    "ExecutionMode",
+    "ExhaustiveTuner",
+    "NVStream",
+    "Node",
+    "NovaFS",
+    "OptaneCalibration",
+    "OptaneDevice",
+    "P_LOCR",
+    "P_LOCW",
+    "Placement",
+    "RecommendationEngine",
+    "RunResult",
+    "S_LOCR",
+    "S_LOCW",
+    "SchedulerConfig",
+    "SnapshotSpec",
+    "StreamChannel",
+    "WorkflowScheduler",
+    "WorkflowSpec",
+    "best_config",
+    "compare_configs",
+    "component_iteration_profile",
+    "extract_features",
+    "gtc_matrixmult_kernel",
+    "gtc_workflow",
+    "micro_workflow",
+    "miniamr_matrixmult_kernel",
+    "miniamr_workflow",
+    "normalized_runtimes",
+    "paper_testbed",
+    "read_only_kernel",
+    "run_workflow",
+    "workflow_suite",
+]

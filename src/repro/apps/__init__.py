@@ -1,0 +1,40 @@
+"""Workload suite: microbenchmarks and application kernels (§IV-B/C).
+
+* :mod:`repro.apps.microbench` — the parameterized writer+reader
+  microbenchmark (1 GiB snapshots of 2 KB or 64 MB objects, 10 iterations).
+* :mod:`repro.apps.gtc` — the Gyrokinetic Toroidal Code simulation kernel
+  (few large checkpoint objects, compute-heavy iterations).
+* :mod:`repro.apps.miniamr` — the miniAMR simulation kernel (many small
+  mesh-block objects, I/O-heavy iterations).
+* :mod:`repro.apps.analytics` — Read-Only and MatrixMult analytics kernels.
+* :mod:`repro.apps.suite` — the full 18-workflow suite with the paper's
+  per-figure expected winners.
+"""
+
+from repro.apps.analytics import (
+    gtc_matrixmult_kernel,
+    miniamr_matrixmult_kernel,
+    read_only_kernel,
+)
+from repro.apps.gtc import gtc_workflow
+from repro.apps.microbench import micro_workflow
+from repro.apps.miniamr import miniamr_workflow
+from repro.apps.suite import (
+    PAPER_EXPECTATIONS,
+    SuiteEntry,
+    suite_entry,
+    workflow_suite,
+)
+
+__all__ = [
+    "PAPER_EXPECTATIONS",
+    "SuiteEntry",
+    "gtc_matrixmult_kernel",
+    "gtc_workflow",
+    "micro_workflow",
+    "miniamr_matrixmult_kernel",
+    "miniamr_workflow",
+    "read_only_kernel",
+    "suite_entry",
+    "workflow_suite",
+]

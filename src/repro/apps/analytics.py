@@ -1,0 +1,59 @@
+"""Analytics kernels (§IV-B "Analytics kernels").
+
+Two kernels, each in a GTC-scale and a miniAMR-scale variant:
+
+* **Read-Only** — reads every object of its paired writer's snapshot and
+  performs no computation: an I/O-heavy analytics component with an
+  insignificant compute phase.
+* **MatrixMult** — matrix multiplication over the objects read.  The GTC
+  variant performs 10 million multiplications of (small, dense) 2D arrays
+  per iteration — a long aggregate compute phase.  The miniAMR variant
+  performs only 5 multiplications per object, but across the snapshot's
+  hundreds of thousands of small objects the compute phase is still
+  relatively large.
+
+The kernels are cost models (see :mod:`repro.workflow.kernels`): only their
+aggregate per-iteration duration matters to the scheduling study, and the
+defaults are sized so the compute/IO ratios land where the paper describes
+them (compute-dominant for both MatrixMult variants).
+"""
+
+from __future__ import annotations
+
+from repro.workflow.kernels import (
+    ComputeKernel,
+    MatrixMultKernel,
+    NullKernel,
+    PerObjectKernel,
+)
+
+#: Matrix dimension of the GTC analytics multiply (2D array tiles).
+GTC_MATMUL_DIM = 5
+#: Multiplications per iteration for the GTC variant (§IV-B: 10 million).
+GTC_MATMUL_COUNT = 10_000_000
+
+#: Multiplications per object for the miniAMR variant (§IV-B: 5).
+MINIAMR_MATMULS_PER_OBJECT = 5
+#: The kernel multiplies 12 x 12 tiles of each 4.5 KB object; one multiply
+#: is 2 * 12**3 flops, i.e. ~0.9 us at the default core rate.
+MINIAMR_SECONDS_PER_MATMUL = 2.0 * 12**3 / 4.0e9
+
+
+def read_only_kernel() -> ComputeKernel:
+    """The Read-Only analytics kernel: no compute phase."""
+    return NullKernel()
+
+
+def gtc_matrixmult_kernel(
+    multiplies: int = GTC_MATMUL_COUNT, dim: int = GTC_MATMUL_DIM
+) -> ComputeKernel:
+    """The GTC MatrixMult analytics kernel (10M multiplies per iteration)."""
+    return MatrixMultKernel(multiplies=multiplies, dim=dim)
+
+
+def miniamr_matrixmult_kernel(objects_per_snapshot: int) -> ComputeKernel:
+    """The miniAMR MatrixMult kernel: 5 small multiplies on each object."""
+    return PerObjectKernel(
+        objects=objects_per_snapshot,
+        seconds_per_object=MINIAMR_MATMULS_PER_OBJECT * MINIAMR_SECONDS_PER_MATMUL,
+    )

@@ -1,0 +1,67 @@
+"""GTC: the Gyrokinetic Toroidal Code simulation kernel (§IV-B).
+
+GTC is a 3D particle-in-cell code for micro-turbulence fusion studies.  Its
+checkpoint consists of a few relatively large 2D/3D arrays — the paper runs
+it with 229 MB objects — and its iteration is dominated by a long particle
+push/scatter compute phase (low simulation I/O index).  The paper
+weak-scales the workload by scaling *npartdom*/*micell*/*mecell* by
+constant factors, which at fixed per-rank work means per-rank particles and
+checkpoint size stay constant as ranks grow; we model exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.storage.objects import SnapshotSpec
+from repro.units import MiB
+from repro.workflow.kernels import ComputeKernel, NullKernel, ParticlePushKernel
+from repro.workflow.spec import WorkflowSpec
+
+#: Checkpoint object size (the paper quotes 229 MB GTC objects, §VI-A).
+GTC_OBJECT_BYTES = 229 * MiB
+
+#: Checkpoint objects per rank per iteration ("a few relatively large
+#: objects"; the runtime-relevant quantity is the 229 MB granularity).
+GTC_OBJECTS_PER_SNAPSHOT = 1
+
+#: Particles pushed per rank per iteration (weak-scaled: constant per
+#: rank).  Sized so the compute phase dominates the iteration at low
+#: concurrency, matching GTC's low simulation I/O index in Figure 3.
+GTC_PARTICLES_PER_RANK = 20_000_000
+
+#: Iterations per run.
+DEFAULT_ITERATIONS = 10
+
+
+def gtc_simulation_kernel(
+    particles: int = GTC_PARTICLES_PER_RANK,
+) -> ComputeKernel:
+    """The GTC per-rank compute kernel (particle push + charge scatter)."""
+    return ParticlePushKernel(particles=particles)
+
+
+def gtc_workflow(
+    analytics: ComputeKernel = None,
+    ranks: int = 8,
+    iterations: int = DEFAULT_ITERATIONS,
+    stack_name: str = "nvstream",
+    label: str = "",
+) -> WorkflowSpec:
+    """A GTC + analytics workflow at the given concurrency.
+
+    ``analytics`` defaults to the Read-Only kernel (no compute).
+    """
+    if analytics is None:
+        analytics = NullKernel()
+    suffix = label or ("readonly" if analytics.is_null else "matmult")
+    return WorkflowSpec(
+        name=f"gtc+{suffix}@{ranks}",
+        ranks=ranks,
+        iterations=iterations,
+        snapshot=SnapshotSpec(
+            object_bytes=GTC_OBJECT_BYTES,
+            objects_per_snapshot=GTC_OBJECTS_PER_SNAPSHOT,
+        ),
+        sim_compute=gtc_simulation_kernel(),
+        analytics_compute=analytics,
+        stack_name=stack_name,
+    )

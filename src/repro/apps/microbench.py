@@ -1,0 +1,61 @@
+"""The workflow microbenchmark (§IV-B "Microbenchmark").
+
+Writer and reader perform only I/O — no compute kernel.  Each rank streams
+a 1 GiB snapshot per iteration, composed of either small (2 KB) or large
+(64 MB) objects, for 10 iterations; both components use the same number of
+ranks.  At 8/16/24 ranks this moves the paper's 80/160/240 GB totals.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.storage.objects import SnapshotSpec
+from repro.units import GiB, KiB, MiB
+from repro.workflow.kernels import NullKernel
+from repro.workflow.spec import WorkflowSpec
+
+#: Per-rank snapshot volume (1 GiB, §IV-B).
+SNAPSHOT_BYTES_PER_RANK = 1 * GiB
+
+#: The paper's small and large object sizes.
+SMALL_OBJECT_BYTES = 2 * KiB
+LARGE_OBJECT_BYTES = 64 * MiB
+
+#: Iterations per rank (§IV-B).
+DEFAULT_ITERATIONS = 10
+
+
+def micro_workflow(
+    object_bytes: int,
+    ranks: int,
+    iterations: int = DEFAULT_ITERATIONS,
+    stack_name: str = "nvstream",
+) -> WorkflowSpec:
+    """Build the microbenchmark workflow for one object size and concurrency.
+
+    The 1 GiB per-rank snapshot must divide evenly into objects; the
+    paper's 2 KB and 64 MB sizes both do.
+    """
+    if object_bytes <= 0 or SNAPSHOT_BYTES_PER_RANK % object_bytes != 0:
+        raise ConfigurationError(
+            f"object size {object_bytes} does not divide the "
+            f"{SNAPSHOT_BYTES_PER_RANK}-byte snapshot"
+        )
+    objects = SNAPSHOT_BYTES_PER_RANK // object_bytes
+    if object_bytes == SMALL_OBJECT_BYTES:
+        size_label = "2k"
+    elif object_bytes == LARGE_OBJECT_BYTES:
+        size_label = "64mb"
+    else:
+        size_label = f"{object_bytes}b"
+    return WorkflowSpec(
+        name=f"micro-{size_label}@{ranks}",
+        ranks=ranks,
+        iterations=iterations,
+        snapshot=SnapshotSpec(
+            object_bytes=object_bytes, objects_per_snapshot=objects
+        ),
+        sim_compute=NullKernel(),
+        analytics_compute=NullKernel(),
+        stack_name=stack_name,
+    )

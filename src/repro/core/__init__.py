@@ -1,0 +1,55 @@
+"""The paper's contribution: PMEM-aware in situ workflow scheduling.
+
+* :mod:`repro.core.configs` — the four scheduler configurations of Table I
+  (execution mode x channel placement).
+* :mod:`repro.core.features` — workflow feature extraction: concurrency /
+  object-size / intensity classes and the standalone-probe **I/O index**
+  of §IV-A.
+* :mod:`repro.core.recommend` — the recommendation engine distilled from
+  Table II and the §VIII rules.
+* :mod:`repro.core.autotune` — the exhaustive oracle (simulate all four
+  configurations, pick the best) used to validate recommendations.
+* :mod:`repro.core.scheduler` — the end-to-end scheduler: extract features,
+  recommend a configuration, place, pin, and run.
+* :mod:`repro.core.pinning` — core-pinning policies.
+"""
+
+from repro.core.autotune import ExhaustiveTuner, TuningReport
+from repro.core.configs import (
+    ALL_CONFIGS,
+    P_LOCR,
+    P_LOCW,
+    S_LOCR,
+    S_LOCW,
+    ExecutionMode,
+    Placement,
+    SchedulerConfig,
+)
+from repro.core.features import WorkflowFeatures, extract_features
+from repro.core.launch import LaunchPlan, render_launch_plan
+from repro.core.pinning import PinningPlan, plan_pinning
+from repro.core.recommend import Recommendation, RecommendationEngine
+from repro.core.scheduler import ScheduleOutcome, WorkflowScheduler
+
+__all__ = [
+    "ALL_CONFIGS",
+    "ExecutionMode",
+    "ExhaustiveTuner",
+    "LaunchPlan",
+    "P_LOCR",
+    "P_LOCW",
+    "PinningPlan",
+    "Placement",
+    "Recommendation",
+    "RecommendationEngine",
+    "S_LOCR",
+    "S_LOCW",
+    "ScheduleOutcome",
+    "SchedulerConfig",
+    "TuningReport",
+    "WorkflowFeatures",
+    "WorkflowScheduler",
+    "extract_features",
+    "plan_pinning",
+    "render_launch_plan",
+]

@@ -1,0 +1,94 @@
+"""The four scheduler configurations of Table I.
+
+Two orthogonal decisions (§II-A):
+
+* **Execution mode** — whether the analytics component runs *in parallel*
+  with the simulation (their PMEM accesses overlap in time) or *serially*
+  after it has completed (accesses never overlap).
+* **Placement** — which component the streaming-I/O channel is local to:
+  ``LocW`` places it in the PMEM of the simulation's (writer's) socket so
+  writes are local and reads remote; ``LocR`` the reverse.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class ExecutionMode(enum.Enum):
+    """When the two components' I/O phases may overlap."""
+
+    SERIAL = "serial"
+    PARALLEL = "parallel"
+
+    @property
+    def short(self) -> str:
+        return "S" if self is ExecutionMode.SERIAL else "P"
+
+
+class Placement(enum.Enum):
+    """Which component the PMEM channel is local to."""
+
+    LOCAL_WRITE = "local-write-remote-read"
+    LOCAL_READ = "remote-write-local-read"
+
+    @property
+    def short(self) -> str:
+        return "LocW" if self is Placement.LOCAL_WRITE else "LocR"
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """One cell of Table I: an execution mode plus a placement."""
+
+    mode: ExecutionMode
+    placement: Placement
+
+    @property
+    def label(self) -> str:
+        """Paper-style label: 'S-LocW', 'P-LocR', ..."""
+        return f"{self.mode.short}-{self.placement.short}"
+
+    @property
+    def writer_local(self) -> bool:
+        """True when the simulation writes to socket-local PMEM."""
+        return self.placement is Placement.LOCAL_WRITE
+
+    @property
+    def reader_local(self) -> bool:
+        """True when the analytics reads from socket-local PMEM."""
+        return self.placement is Placement.LOCAL_READ
+
+    @property
+    def parallel(self) -> bool:
+        return self.mode is ExecutionMode.PARALLEL
+
+    @staticmethod
+    def from_label(label: str) -> "SchedulerConfig":
+        """Parse a paper-style label (case-insensitive, '-' or '_')."""
+        normalized = label.strip().upper().replace("_", "-")
+        for config in ALL_CONFIGS:
+            if config.label.upper() == normalized:
+                return config
+        raise ValueError(
+            f"unknown configuration {label!r}; expected one of "
+            f"{[c.label for c in ALL_CONFIGS]}"
+        )
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: Serial, channel local to the writer (local-write / remote-read).
+S_LOCW = SchedulerConfig(ExecutionMode.SERIAL, Placement.LOCAL_WRITE)
+#: Serial, channel local to the reader (remote-write / local-read).
+S_LOCR = SchedulerConfig(ExecutionMode.SERIAL, Placement.LOCAL_READ)
+#: Parallel, channel local to the writer.
+P_LOCW = SchedulerConfig(ExecutionMode.PARALLEL, Placement.LOCAL_WRITE)
+#: Parallel, channel local to the reader.
+P_LOCR = SchedulerConfig(ExecutionMode.PARALLEL, Placement.LOCAL_READ)
+
+#: Table I, in the paper's row order.
+ALL_CONFIGS: Tuple[SchedulerConfig, ...] = (S_LOCW, S_LOCR, P_LOCW, P_LOCR)

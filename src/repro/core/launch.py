@@ -1,0 +1,99 @@
+"""Launch-command generation from a scheduling decision.
+
+The paper closes by asking how its recommendations can be "practically
+incorporated in scheduling systems" (§X).  This module renders a
+:class:`~repro.core.pinning.PinningPlan` into the concrete launcher
+invocations an HPC job script would execute: ``numactl``-pinned ``mpirun``
+commands with the PMEM channel path on the placement-chosen socket.
+
+The emitted commands are plain strings (nothing is executed): the library's
+job ends where the site launcher begins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.configs import SchedulerConfig
+from repro.core.pinning import PinningPlan
+from repro.errors import ConfigurationError
+from repro.workflow.spec import WorkflowSpec
+
+
+@dataclass(frozen=True)
+class LaunchPlan:
+    """Rendered launcher invocations for one scheduled workflow."""
+
+    config_label: str
+    simulation_command: str
+    analytics_command: str
+    prologue: List[str]
+
+    def as_script(self) -> str:
+        """A complete shell-script body (prologue + both components)."""
+        lines = ["#!/bin/sh", "set -eu", ""]
+        lines += self.prologue
+        lines += ["", self.simulation_command]
+        lines += [self.analytics_command, ""]
+        return "\n".join(lines)
+
+
+def _core_list(cores) -> str:
+    return ",".join(str(core) for core in cores)
+
+
+def render_launch_plan(
+    spec: WorkflowSpec,
+    config: SchedulerConfig,
+    plan: PinningPlan,
+    simulation_binary: str = "./simulation",
+    analytics_binary: str = "./analytics",
+    pmem_mount_pattern: str = "/mnt/pmem{socket}",
+) -> LaunchPlan:
+    """Render launcher commands for *spec* scheduled as *plan* under *config*.
+
+    Serial mode sequences the two components (`&&`); parallel mode
+    backgrounds the simulation and waits.  Both components are pinned with
+    ``numactl --physcpubind`` to the plan's cores and bind their memory to
+    their own socket, while the streaming channel lives on the PMEM mount
+    of the placement-chosen socket.
+    """
+    if plan.writer_cores and len(plan.writer_cores) != spec.ranks:
+        raise ConfigurationError(
+            f"plan has {len(plan.writer_cores)} writer cores for "
+            f"{spec.ranks} ranks"
+        )
+    channel_path = pmem_mount_pattern.format(socket=plan.channel_socket)
+    prologue = [
+        f"# {spec.name} under {config.label}: "
+        f"{config.mode.value} execution, channel on socket {plan.channel_socket}",
+        f"CHANNEL={channel_path}/{spec.name.replace('@', '_')}",
+        "mkdir -p \"$CHANNEL\"",
+    ]
+    sim = (
+        f"mpirun -np {spec.ranks} "
+        f"numactl --membind={plan.writer_socket} "
+        f"--physcpubind={_core_list(plan.writer_cores)} "
+        f"{simulation_binary} --channel \"$CHANNEL\" "
+        f"--iterations {spec.iterations}"
+    )
+    ana = (
+        f"mpirun -np {spec.ranks} "
+        f"numactl --membind={plan.reader_socket} "
+        f"--physcpubind={_core_list(plan.reader_cores)} "
+        f"{analytics_binary} --channel \"$CHANNEL\" "
+        f"--iterations {spec.iterations}"
+    )
+    if config.parallel:
+        simulation_command = f"{sim} &"
+        analytics_command = f"{ana}\nwait"
+    else:
+        simulation_command = sim
+        analytics_command = ana
+    return LaunchPlan(
+        config_label=config.label,
+        simulation_command=simulation_command,
+        analytics_command=analytics_command,
+        prologue=prologue,
+    )

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific exceptions."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event engine reaches an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the engine runs out of events while processes are blocked."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid platform, workload, or scheduler configurations."""
+
+
+class PlacementError(ConfigurationError):
+    """Raised when a component cannot be placed (e.g. not enough cores)."""
+
+
+class StorageError(ReproError):
+    """Raised by storage-stack models (e.g. reading an unpublished version)."""
+
+
+class CalibrationError(ReproError):
+    """Raised when device-model calibration constants are inconsistent."""

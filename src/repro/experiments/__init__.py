@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every experiment module exposes ``run(cal=None) -> ExperimentResult`` which
+re-generates the corresponding artifact (runtime bars per configuration,
+normalized charts, recommendation tables) and checks the paper's quantified
+claims against the simulated numbers.  The registry maps experiment IDs to
+modules; ``python -m repro.experiments <id>`` (or ``all``) runs them from
+the command line and can emit the EXPERIMENTS.md report.
+"""
+
+from repro.experiments.common import Claim, ExperimentResult, run_suite_panel
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = [
+    "Claim",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "get_experiment",
+    "list_experiments",
+    "run_suite_panel",
+]

@@ -1,0 +1,135 @@
+"""Cross-configuration analysis of run results.
+
+Pure functions over :class:`~repro.metrics.results.RunResult` collections:
+pick winners, normalize to the fastest configuration (the presentation used
+in the paper's Figure 10), and compute misconfiguration slowdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.metrics.results import RunResult
+
+ResultsLike = Union[Sequence[RunResult], Mapping[str, RunResult]]
+
+
+def _as_mapping(results: ResultsLike) -> Dict[str, RunResult]:
+    if isinstance(results, Mapping):
+        mapping = dict(results)
+    else:
+        mapping = {r.config_label: r for r in results}
+    if not mapping:
+        raise ConfigurationError("no results to analyse")
+    return mapping
+
+
+def best_config(results: ResultsLike) -> str:
+    """Label of the configuration with the smallest makespan.
+
+    Ties are broken deterministically by label, so analyses are stable.
+    """
+    mapping = _as_mapping(results)
+    return min(mapping.items(), key=lambda kv: (kv[1].makespan, kv[0]))[0]
+
+
+def normalized_runtimes(results: ResultsLike) -> Dict[str, float]:
+    """Each configuration's makespan divided by the best makespan (>= 1.0).
+
+    This is the paper's Figure 10 presentation: "workflow runtime
+    normalized to the runtime of the best configuration".
+    """
+    mapping = _as_mapping(results)
+    best = mapping[best_config(mapping)].makespan
+    if best <= 0:
+        raise ConfigurationError("best makespan is non-positive")
+    return {label: result.makespan / best for label, result in mapping.items()}
+
+
+def slowdown_of(results: ResultsLike, label: str) -> float:
+    """Fractional slowdown of *label* relative to the best configuration.
+
+    0.0 means *label* is the winner; 0.25 means it is 25 % slower.
+    """
+    normalized = normalized_runtimes(results)
+    if label not in normalized:
+        raise ConfigurationError(
+            f"no result for configuration {label!r}; have {sorted(normalized)}"
+        )
+    return normalized[label] - 1.0
+
+
+def gap_between(results: ResultsLike, fast_label: str, slow_label: str) -> float:
+    """Fractional gap of *slow_label* over *fast_label* (positive = slower)."""
+    mapping = _as_mapping(results)
+    for label in (fast_label, slow_label):
+        if label not in mapping:
+            raise ConfigurationError(f"no result for configuration {label!r}")
+    fast = mapping[fast_label].makespan
+    if fast <= 0:
+        raise ConfigurationError("reference makespan is non-positive")
+    return mapping[slow_label].makespan / fast - 1.0
+
+
+@dataclass(frozen=True)
+class ConfigComparison:
+    """All-configuration comparison for one workflow."""
+
+    workflow_name: str
+    results: Dict[str, RunResult]
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise ConfigurationError("comparison needs at least one result")
+
+    @property
+    def best_label(self) -> str:
+        return best_config(self.results)
+
+    @property
+    def best_result(self) -> RunResult:
+        return self.results[self.best_label]
+
+    @property
+    def normalized(self) -> Dict[str, float]:
+        return normalized_runtimes(self.results)
+
+    @property
+    def worst_slowdown(self) -> float:
+        """How much slower the worst configuration is than the best."""
+        return max(self.normalized.values()) - 1.0
+
+    def makespans(self) -> Dict[str, float]:
+        return {label: r.makespan for label, r in self.results.items()}
+
+    def ranked(self) -> List[Tuple[str, float]]:
+        """(label, makespan) pairs, fastest first (label-stable ties)."""
+        return sorted(self.makespans().items(), key=lambda kv: (kv[1], kv[0]))
+
+
+def compare_configs(results: Iterable[RunResult]) -> ConfigComparison:
+    """Build a :class:`ConfigComparison` from runs of one workflow.
+
+    All results must share a workflow name; each configuration label must
+    appear exactly once.
+    """
+    collected: Dict[str, RunResult] = {}
+    name = None
+    for result in results:
+        if name is None:
+            name = result.workflow_name
+        elif result.workflow_name != name:
+            raise ConfigurationError(
+                f"mixed workflows in comparison: {name!r} vs "
+                f"{result.workflow_name!r}"
+            )
+        if result.config_label in collected:
+            raise ConfigurationError(
+                f"duplicate configuration {result.config_label!r}"
+            )
+        collected[result.config_label] = result
+    if name is None:
+        raise ConfigurationError("no results to compare")
+    return ConfigComparison(workflow_name=name, results=collected)

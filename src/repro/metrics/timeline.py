@@ -1,0 +1,73 @@
+"""ASCII Gantt rendering of a traced run.
+
+Turns the :class:`~repro.sim.trace.Tracer` records of a workflow run into a
+per-rank timeline, making the scheduling structure visible at a glance:
+compute (``.``), writes (``W``), reads (``R``), version waits (``w``), and
+barrier waits (``|``) — e.g. the lockstep write bursts of a serial run vs
+the interleaved bands of a parallel one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import Tracer
+
+#: Phase -> glyph used in the timeline body.
+PHASE_GLYPHS: Dict[str, str] = {
+    "compute": ".",
+    "write": "W",
+    "read": "R",
+    "wait": "w",
+    "barrier": "|",
+}
+
+
+def render_timeline(
+    tracer: Tracer,
+    width: int = 100,
+    components: Tuple[str, ...] = ("writer", "reader"),
+) -> str:
+    """Render the trace as one fixed-width row per rank.
+
+    Each column covers ``span / width`` seconds; the glyph shown is the
+    phase active at the column's midpoint (idle columns print a space).
+    """
+    if width < 10:
+        raise ConfigurationError("timeline width must be >= 10")
+    if not tracer.records:
+        raise ConfigurationError("cannot render an empty trace")
+    start, end = tracer.span()
+    span = end - start
+    if span <= 0:
+        raise ConfigurationError("trace span is empty")
+    column_seconds = span / width
+
+    lines: List[str] = [
+        f"timeline: {span:.2f}s total, one column = {column_seconds * 1000:.1f} ms "
+        f"({', '.join(f'{glyph}={phase}' for phase, glyph in PHASE_GLYPHS.items())})"
+    ]
+    for component in components:
+        ranks = sorted({r.rank for r in tracer.by_component(component)})
+        for rank in ranks:
+            intervals = list(tracer.iter_intervals(component, rank))
+            row = []
+            for column in range(width):
+                t = start + (column + 0.5) * column_seconds
+                glyph = " "
+                for record in intervals:
+                    if record.start <= t < record.end:
+                        glyph = PHASE_GLYPHS.get(record.phase, "?")
+                        break
+                row.append(glyph)
+            lines.append(f"{component[:6]:>6}[{rank:2d}] {''.join(row)}")
+    return "\n".join(lines)
+
+
+def phase_summary(tracer: Tracer, component: str) -> Dict[str, float]:
+    """Total seconds per phase for *component* (across all ranks)."""
+    totals: Dict[str, float] = {}
+    for record in tracer.by_component(component):
+        totals[record.phase] = totals.get(record.phase, 0.0) + record.duration
+    return totals

@@ -1,0 +1,20 @@
+"""Server platform model: sockets, cores, NUMA paths, interconnect.
+
+* :mod:`repro.platform.topology` — sockets, core pools, and the node.
+* :mod:`repro.platform.interconnect` — UPI links between sockets.
+* :mod:`repro.platform.builder` — presets, including the paper's testbed
+  (dual-socket, 28 cores/socket, 6 x 512 GB Optane per socket).
+"""
+
+from repro.platform.builder import paper_testbed, single_socket_node
+from repro.platform.interconnect import UpiLink
+from repro.platform.topology import CorePool, Node, Socket
+
+__all__ = [
+    "CorePool",
+    "Node",
+    "Socket",
+    "UpiLink",
+    "paper_testbed",
+    "single_socket_node",
+]

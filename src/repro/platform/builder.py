@@ -1,0 +1,58 @@
+"""Platform presets.
+
+:func:`paper_testbed` reconstructs the evaluation platform of §V: a
+dual-socket Intel Xeon Scalable node with 28 physical cores per socket, two
+memory controllers per socket (three channels each), and 6 x 512 GB Optane
+DIMMs per socket in interleaved App-Direct mode.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.platform.topology import Node, Socket
+from repro.pmem.calibration import DEFAULT_CALIBRATION, OptaneCalibration
+from repro.pmem.device import OptaneDevice
+from repro.units import GiB
+
+
+def _upi_bandwidth(cal: OptaneCalibration) -> float:
+    """UPI capacity, unconstrained when remote penalties are ablated."""
+    return cal.upi_bandwidth if cal.enable_remote_penalty else math.inf
+
+
+def paper_testbed(
+    cal: Optional[OptaneCalibration] = None,
+    cores_per_socket: int = 28,
+    pmem_per_socket: int = 6 * 512 * GiB,
+    dram_per_socket: int = 192 * GiB,
+) -> Node:
+    """The dual-socket Optane testbed of the paper (§V)."""
+    cal = cal or DEFAULT_CALIBRATION
+    sockets = [
+        Socket(
+            socket_id=sid,
+            n_cores=cores_per_socket,
+            pmem=OptaneDevice(socket_id=sid, capacity_bytes=pmem_per_socket, cal=cal),
+            dram_bytes=dram_per_socket,
+        )
+        for sid in range(2)
+    ]
+    return Node(sockets, upi_bandwidth=_upi_bandwidth(cal))
+
+
+def single_socket_node(
+    cal: Optional[OptaneCalibration] = None,
+    cores: int = 28,
+    pmem_bytes: int = 6 * 512 * GiB,
+) -> Node:
+    """A one-socket node; useful for tests (no remote paths exist)."""
+    cal = cal or DEFAULT_CALIBRATION
+    socket = Socket(
+        socket_id=0,
+        n_cores=cores,
+        pmem=OptaneDevice(socket_id=0, capacity_bytes=pmem_bytes, cal=cal),
+        dram_bytes=192 * GiB,
+    )
+    return Node([socket], upi_bandwidth=_upi_bandwidth(cal))

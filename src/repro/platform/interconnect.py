@@ -1,0 +1,27 @@
+"""Cross-socket interconnect (UPI) model.
+
+The severe cross-NUMA PMEM degradations are calibrated directly into the
+device model's remote factors (:mod:`repro.pmem.bandwidth`), because they
+are a combined device + interconnect phenomenon measured end to end by the
+literature.  The explicit :class:`UpiLink` resource bounds aggregate
+cross-socket traffic (data + coherence, both directions pooled at our
+fidelity) so that remote flows can never exceed the physical link, and so
+that unrelated remote flows contend with one another.
+"""
+
+from __future__ import annotations
+
+from repro.sim.flow import CapacityResource, ResourceLoad
+
+
+class UpiLink(CapacityResource):
+    """Pooled UPI capacity between a pair of sockets."""
+
+    __slots__ = ("bandwidth",)
+
+    def __init__(self, socket_a: int, socket_b: int, bandwidth: float) -> None:
+        self.bandwidth = float(bandwidth)
+        super().__init__(name=f"upi[{socket_a}<->{socket_b}]", capacity_fn=self._capacity)
+
+    def _capacity(self, load: ResourceLoad) -> float:
+        return self.bandwidth

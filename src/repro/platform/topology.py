@@ -1,0 +1,142 @@
+"""Node topology: sockets, core pools, and NUMA transfer paths.
+
+The :class:`Node` is the object the scheduler deploys workflows onto.  It
+answers two questions:
+
+* *pinning*: which cores on which socket does each component rank get
+  (:class:`CorePool` hands out core IDs and enforces capacity); and
+* *routing*: which flow-network resources does a transfer traverse, given
+  the issuing socket and the socket whose PMEM holds the I/O channel
+  (:meth:`Node.flow_path`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.platform.interconnect import UpiLink
+from repro.pmem.device import OptaneDevice
+from repro.sim.flow import CapacityResource
+
+
+class CorePool:
+    """Allocates physical core IDs on one socket."""
+
+    def __init__(self, socket_id: int, n_cores: int) -> None:
+        if n_cores <= 0:
+            raise ConfigurationError(f"socket {socket_id} needs > 0 cores")
+        self.socket_id = socket_id
+        self.n_cores = n_cores
+        self._free: List[int] = list(range(n_cores))
+        self._allocated: Dict[int, str] = {}
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    def allocate(self, count: int, owner: str = "") -> List[int]:
+        """Reserve *count* cores; raises :class:`PlacementError` if short."""
+        if count < 0:
+            raise PlacementError(f"cannot allocate {count} cores")
+        if count > len(self._free):
+            raise PlacementError(
+                f"socket {self.socket_id}: requested {count} cores, only "
+                f"{len(self._free)} of {self.n_cores} free"
+            )
+        cores = [self._free.pop(0) for _ in range(count)]
+        for core in cores:
+            self._allocated[core] = owner
+        return cores
+
+    def release(self, cores: List[int]) -> None:
+        """Return previously allocated cores to the pool."""
+        for core in cores:
+            if core not in self._allocated:
+                raise PlacementError(
+                    f"core {core} on socket {self.socket_id} was not allocated"
+                )
+            del self._allocated[core]
+            self._free.append(core)
+        self._free.sort()
+
+    def owner_of(self, core: int) -> str:
+        """Owner label of an allocated core (raises if free)."""
+        if core not in self._allocated:
+            raise PlacementError(f"core {core} is not allocated")
+        return self._allocated[core]
+
+
+@dataclass
+class Socket:
+    """One CPU socket with locally attached DRAM and Optane PMEM."""
+
+    socket_id: int
+    n_cores: int
+    pmem: OptaneDevice
+    dram_bytes: int = 0
+    cores: CorePool = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.cores = CorePool(self.socket_id, self.n_cores)
+
+
+class Node:
+    """A multi-socket server with per-socket PMEM and UPI interconnect.
+
+    Parameters
+    ----------
+    sockets:
+        The sockets, indexed by position (socket IDs must equal indexes).
+    upi_bandwidth:
+        Pooled cross-socket link capacity in bytes/s, used for every
+        socket pair.
+    """
+
+    def __init__(self, sockets: List[Socket], upi_bandwidth: float) -> None:
+        if not sockets:
+            raise ConfigurationError("a node needs at least one socket")
+        for index, socket in enumerate(sockets):
+            if socket.socket_id != index:
+                raise ConfigurationError(
+                    f"socket at position {index} has id {socket.socket_id}"
+                )
+        self.sockets = sockets
+        self._upi: Dict[Tuple[int, int], UpiLink] = {}
+        for a in range(len(sockets)):
+            for b in range(a + 1, len(sockets)):
+                self._upi[(a, b)] = UpiLink(a, b, upi_bandwidth)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_sockets(self) -> int:
+        return len(self.sockets)
+
+    def socket(self, socket_id: int) -> Socket:
+        """Socket by ID, with bounds checking."""
+        if not 0 <= socket_id < len(self.sockets):
+            raise ConfigurationError(
+                f"socket {socket_id} out of range (node has {len(self.sockets)})"
+            )
+        return self.sockets[socket_id]
+
+    def upi(self, socket_a: int, socket_b: int) -> UpiLink:
+        """The UPI link between two distinct sockets."""
+        if socket_a == socket_b:
+            raise ConfigurationError("no UPI link from a socket to itself")
+        key = (min(socket_a, socket_b), max(socket_a, socket_b))
+        return self._upi[key]
+
+    def flow_path(
+        self, cpu_socket: int, pmem_socket: int
+    ) -> Tuple[Tuple[CapacityResource, ...], bool]:
+        """Resources traversed by a transfer, and whether it is remote.
+
+        A local transfer touches only the target socket's PMEM device; a
+        remote transfer additionally crosses the UPI link.
+        """
+        device = self.socket(pmem_socket).pmem.resource
+        if cpu_socket == pmem_socket:
+            return (device,), False
+        return (device, self.upi(cpu_socket, pmem_socket)), True

@@ -1,0 +1,46 @@
+"""Intel Optane DC Persistent Memory device model.
+
+This package encodes the published first-generation Optane PMEM performance
+characteristics that drive every observation in the paper:
+
+* :mod:`repro.pmem.calibration` — all model constants, each annotated with
+  its literature source (the paper itself, Yang et al. FAST'20, Izraelevitz
+  et al. arXiv:1903.05714, Peng et al. MEMSYS'19).
+* :mod:`repro.pmem.bandwidth` — concurrency-scaling, locality, mixed
+  read/write interference, and access-granularity curves.
+* :mod:`repro.pmem.latency` — idle access latency model.
+* :mod:`repro.pmem.interleave` — DIMM interleaving (4 KB chunks striped
+  across 6 DIMMs) and per-DIMM contention statistics.
+* :mod:`repro.pmem.device` — the :class:`OptaneDevice` wired into the
+  fluid-flow network as a :class:`~repro.sim.flow.CapacityResource`.
+"""
+
+from repro.pmem.bandwidth import (
+    access_efficiency,
+    mix_read_penalty,
+    mix_write_penalty,
+    read_bandwidth_total,
+    remote_read_factor,
+    remote_write_factor,
+    write_bandwidth_total,
+)
+from repro.pmem.calibration import DEFAULT_CALIBRATION, OptaneCalibration
+from repro.pmem.device import OptaneDevice, OptaneDeviceResource
+from repro.pmem.interleave import InterleaveSet
+from repro.pmem.latency import op_latency
+
+__all__ = [
+    "DEFAULT_CALIBRATION",
+    "InterleaveSet",
+    "OptaneCalibration",
+    "OptaneDevice",
+    "OptaneDeviceResource",
+    "access_efficiency",
+    "mix_read_penalty",
+    "mix_write_penalty",
+    "op_latency",
+    "read_bandwidth_total",
+    "remote_read_factor",
+    "remote_write_factor",
+    "write_bandwidth_total",
+]

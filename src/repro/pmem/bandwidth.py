@@ -1,0 +1,198 @@
+"""Optane bandwidth curves: concurrency scaling, locality, mix, granularity.
+
+Pure functions of an :class:`~repro.pmem.calibration.OptaneCalibration` and
+the current load.  The device resource (:mod:`repro.pmem.device`) composes
+them; tests exercise them directly.
+
+All thread counts ``n`` are *effective* (duty-weighted) concurrencies, which
+may be fractional — see :mod:`repro.sim.flow` for how software overhead
+reduces effective device concurrency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.pmem.calibration import OptaneCalibration
+
+
+def read_bandwidth_total(cal: OptaneCalibration, n: float) -> float:
+    """Aggregate local read bandwidth with *n* effective concurrent readers.
+
+    Concave ramp saturating at the 39.4 GB/s peak around 17 threads
+    [paper §II-B]; monotonically non-decreasing in ``n``.
+    """
+    if n <= 0:
+        return 0.0
+    return cal.local_read_peak * (1.0 - math.exp(-n / cal.read_ramp_scale))
+
+
+def write_bandwidth_total(cal: OptaneCalibration, n: float) -> float:
+    """Aggregate local write bandwidth with *n* effective concurrent writers.
+
+    Ramps to the 13.9 GB/s peak by ~4 threads, then declines gently as
+    additional writers thrash the WPQ/XPBuffer [paper §II-B, FAST20].
+    """
+    if n <= 0:
+        return 0.0
+    ramp = cal.local_write_peak * (1.0 - math.exp(-n / cal.write_ramp_scale))
+    over = max(0.0, n - cal.write_peak_threads)
+    return ramp / (1.0 + cal.write_decay * over)
+
+
+def remote_read_factor(cal: OptaneCalibration, n_remote: float) -> float:
+    """Multiplier on read bandwidth when the readers are on the remote socket.
+
+    Gentle: the paper measures only a 1.3x slowdown at 24 concurrent remote
+    reads [paper §II-B].
+    """
+    if not cal.enable_remote_penalty or n_remote <= 0:
+        return 1.0
+    return 1.0 / (1.0 + cal.remote_read_slope * n_remote)
+
+
+def _small_remote_write_factor(cal: OptaneCalibration, n_remote: float) -> float:
+    """Small-access remote write collapse: the paper's 15x drop at 24 ops."""
+    if n_remote <= cal.remote_write_collapse_n0:
+        return 1.0
+    return (cal.remote_write_collapse_n0 / n_remote) ** cal.remote_write_collapse_exp
+
+
+def _streaming_remote_write_factor(cal: OptaneCalibration, n_remote: float) -> float:
+    """Streaming remote write knee: mild until UPI/coherence saturates."""
+    exponent = (n_remote - cal.remote_write_knee) / cal.remote_write_knee_width
+    # Clamp to keep exp() well behaved for extreme inputs.
+    exponent = min(60.0, max(-60.0, exponent))
+    floor = cal.remote_write_floor
+    return floor + (1.0 - floor) / (1.0 + math.exp(exponent))
+
+
+def remote_write_factor(
+    cal: OptaneCalibration, n_remote: float, op_bytes: float = 64.0
+) -> float:
+    """Multiplier on write bandwidth when the writers are on the remote socket.
+
+    Granularity dependent [paper §II-B, FAST20]:
+
+    * accesses at or below the 4 KB interleave chunk (raw stores,
+      block-granular filesystems) collapse as ``(n0/n)**p`` — the paper's
+      measured 15x drop at 24 concurrent writes, "under 1 GB/s" quickly;
+    * large streaming transfers (non-temporal, write-combined) degrade
+      mildly until ~18 concurrent writers, then step down to a floor;
+    * log-linear blend between one chunk and one full stripe.
+
+    ``op_bytes`` is the granularity the *device* observes (after any stack
+    coalescing); the default of one cache line models raw store benchmarks.
+    """
+    if not cal.enable_remote_penalty or n_remote <= 0:
+        return 1.0
+    small = _small_remote_write_factor(cal, n_remote)
+    streaming = _streaming_remote_write_factor(cal, n_remote)
+    lo = cal.remote_small_access_bytes
+    hi = float(cal.stripe_bytes)
+    if op_bytes <= lo:
+        return small
+    if op_bytes >= hi:
+        return streaming
+    # Log-linear interpolation between the two regimes.
+    weight = (math.log(op_bytes) - math.log(lo)) / (math.log(hi) - math.log(lo))
+    return small + weight * (streaming - small)
+
+
+def _saturating(n: float, half: float, exponent: float = 2.0) -> float:
+    """Power-law count saturation ``n^p / (n^p + half^p)`` in [0, 1).
+
+    Super-linear onset: a few opposing threads barely interfere, a
+    socketful of them thrashes the device's internal buffering.
+    """
+    if n <= 0:
+        return 0.0
+    return n**exponent / (n**exponent + half**exponent)
+
+
+def sustained_congestion_factor(cal: OptaneCalibration, sustained_occupancy: float) -> float:
+    """Remote-write degradation from *sustained* occupancy (EWMA-driven).
+
+    ``1 / (1 + (u / scale) ** exp)`` — continuous remote write streams build
+    up UPI/coherence queue pressure that transient checkpoint bursts never
+    reach.  ``u`` is the device's time-averaged remote-write occupancy.
+    """
+    if not cal.enable_remote_penalty or sustained_occupancy <= 0:
+        return 1.0
+    ratio = sustained_occupancy / cal.remote_write_congestion_scale
+    return 1.0 / (1.0 + ratio ** cal.remote_write_congestion_exp)
+
+
+def mix_read_penalty(cal: OptaneCalibration, n_writers: float) -> float:
+    """Multiplier on read capacity when writers are concurrently active.
+
+    Mixed read/write traffic thrashes the per-DIMM XPBuffer.  The onset is
+    sharp (quartic in the writer count): a few writers coexist with reads,
+    but once the writer population approaches write-port saturation, read
+    bandwidth collapses [FAST20 §4.3].
+    """
+    if not cal.enable_mix_interference or n_writers <= 0:
+        return 1.0
+    h = cal.mix_read_half_saturation
+    p = cal.mix_read_sat_exponent
+    sat = n_writers**p / (n_writers**p + h**p)
+    return 1.0 / (1.0 + cal.mix_gamma_read * sat)
+
+
+def mix_write_penalty(
+    cal: OptaneCalibration,
+    n_readers: float,
+    remote_reader_fraction: float = 0.0,
+    writer_remote: bool = False,
+) -> float:
+    """Multiplier on write capacity when readers are concurrently active.
+
+    Writes are more fragile than reads (their baseline is 2.8x lower).
+    Two locality amplifiers [paper §VI-A, fit]:
+
+    * *remote readers* create interconnect back-pressure on the device's
+      internal buffering, slowing even local writes — the paper's
+      explanation for why P-LocW loses to S-LocW when bandwidth-bound;
+    * a *remote writer* facing concurrent reads loses its write-combining
+      efficiency on top of the plain remote penalty, which is why P-LocR
+      is the worst configuration for bandwidth-bound workflows.
+    """
+    if not cal.enable_mix_interference:
+        return 1.0
+    gamma = cal.mix_gamma_write * (
+        1.0
+        + cal.mix_remote_read_boost * max(0.0, min(1.0, remote_reader_fraction))
+        + (cal.mix_remote_write_boost if writer_remote else 0.0)
+    )
+    return 1.0 / (
+        1.0
+        + gamma
+        * _saturating(n_readers, cal.mix_half_saturation, cal.mix_write_sat_exponent)
+    )
+
+
+def access_efficiency(
+    cal: OptaneCalibration, kind: str, op_bytes: float, raw_threads: int
+) -> float:
+    """Device-level efficiency of accesses of ``op_bytes`` granularity.
+
+    Two effects [paper §II-B, FAST20]:
+
+    * sub-stripe accesses amortize the internal 256 B XPLine / prefetch
+      window poorly — saturating ``op / (op + half)`` efficiency;
+    * with >= 6 threads issuing accesses at or below the 4 KB interleave
+      chunk, threads collide on individual DIMMs (non-uniform stripe
+      distribution) — a constant de-rating.
+    """
+    if not cal.enable_size_effects:
+        return 1.0
+    if op_bytes <= 0:
+        return 1.0
+    half = cal.read_size_half if kind == "read" else cal.write_size_half
+    eff = op_bytes / (op_bytes + half)
+    if (
+        raw_threads >= cal.dimm_contention_threads
+        and op_bytes <= cal.interleave_chunk
+    ):
+        eff *= cal.dimm_contention_factor
+    return eff

@@ -1,0 +1,33 @@
+"""Idle access latency model for Optane PMEM.
+
+The latency term enters each transfer's *self cap* (see
+:mod:`repro.sim.flow`): a streaming read of one object costs at least one
+dependent device access per interleave chunk traversed, so small objects are
+latency-bound and large objects amortize latency into bandwidth.  Writes are
+acknowledged by the iMC write-pending queue, so their latency is low and
+nearly locality-insensitive — the asymmetry behind the paper's
+"prioritize reads when bandwidth is not constrained" rule (§VIII).
+"""
+
+from __future__ import annotations
+
+from repro.pmem.calibration import OptaneCalibration
+
+
+def op_latency(
+    cal: OptaneCalibration, kind: str, remote: bool, op_bytes: float
+) -> float:
+    """Latency charged per object operation, in seconds.
+
+    One full idle-latency stall for the first access of the object, plus a
+    small dependent-access cost per additional interleave chunk (the
+    device's read-ahead hides most, but not all, of the per-chunk latency;
+    writes stream through the WPQ and pay only the initial stall).
+    """
+    if kind == "read":
+        base = cal.read_latency_remote if remote else cal.read_latency_local
+        extra_chunks = max(0.0, op_bytes / cal.interleave_chunk - 1.0)
+        # Read-ahead hides ~95 % of per-chunk latency for streaming reads.
+        return base + 0.05 * base * extra_chunks
+    base = cal.write_latency_remote if remote else cal.write_latency_local
+    return base

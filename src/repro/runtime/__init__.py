@@ -1,0 +1,18 @@
+"""A real (threaded) in situ workflow runtime.
+
+Everything else in this library runs in *virtual* time against the Optane
+model.  This package executes **actual Python callables** as writer/reader
+ranks, coupled through a thread-safe in-memory versioned channel that
+follows the same protocol as the simulated one — demonstrating that the
+public workflow API is a genuine orchestration interface, not only a
+simulator front end.
+
+Optionally, the runtime injects model-derived delays around each transfer
+(``emulate_device=True``) so the real execution exhibits the modelled PMEM
+timing, scaled by ``time_scale`` to keep demos fast.
+"""
+
+from repro.runtime.channel import InMemoryChannel
+from repro.runtime.threaded import RealRunResult, ThreadedWorkflow
+
+__all__ = ["InMemoryChannel", "RealRunResult", "ThreadedWorkflow"]

@@ -1,0 +1,114 @@
+"""Thread-safe in-memory versioned snapshot channel.
+
+The real-execution analogue of :class:`repro.storage.channel.StreamChannel`:
+writers publish versioned snapshots (any Python payload, typically a list
+of NumPy arrays) into per-rank streams; readers block until their paired
+stream reaches the version they need.  A bounded ring evicts old versions,
+mirroring the PMEM channel's ``retained_versions`` space budget — and a
+writer that outruns its reader by more than the ring depth blocks, giving
+the same back-pressure a finite-capacity device imposes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.errors import StorageError
+
+
+class InMemoryChannel:
+    """Versioned multi-stream channel guarded by a condition variable.
+
+    Parameters
+    ----------
+    n_streams:
+        Number of writer ranks (stream IDs are ``0 .. n_streams - 1``).
+    retained_versions:
+        Ring depth per stream; publishing version ``v`` blocks while
+        version ``v - retained_versions`` is still unconsumed.
+    """
+
+    def __init__(self, n_streams: int, retained_versions: int = 2) -> None:
+        if n_streams <= 0:
+            raise StorageError(f"n_streams must be positive, got {n_streams}")
+        if retained_versions <= 0:
+            raise StorageError(
+                f"retained_versions must be positive, got {retained_versions}"
+            )
+        self.n_streams = n_streams
+        self.retained_versions = retained_versions
+        self._lock = threading.Condition()
+        self._data: Dict[int, "OrderedDict[int, Any]"] = {
+            stream: OrderedDict() for stream in range(n_streams)
+        }
+        self._published: Dict[int, int] = {stream: -1 for stream in range(n_streams)}
+        self._consumed: Dict[int, int] = {stream: -1 for stream in range(n_streams)}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _check_stream(self, stream_id: int) -> None:
+        if not 0 <= stream_id < self.n_streams:
+            raise StorageError(
+                f"stream {stream_id} out of range (channel has {self.n_streams})"
+            )
+
+    def publish(self, stream_id: int, version: int, payload: Any) -> None:
+        """Publish *payload* as *version*; blocks while the ring is full."""
+        self._check_stream(stream_id)
+        with self._lock:
+            if version != self._published[stream_id] + 1:
+                raise StorageError(
+                    f"stream {stream_id}: publish({version}) out of order; "
+                    f"last published was {self._published[stream_id]}"
+                )
+            # Back-pressure: wait until the oldest retained slot is free.
+            while (
+                not self._closed
+                and version - self._consumed[stream_id] > self.retained_versions
+            ):
+                self._lock.wait()
+            if self._closed:
+                raise StorageError("channel closed while publishing")
+            self._data[stream_id][version] = payload
+            self._published[stream_id] = version
+            self._lock.notify_all()
+
+    def consume(
+        self, stream_id: int, version: int, timeout: Optional[float] = None
+    ) -> Any:
+        """Block until *version* is available, return its payload, and mark
+        it consumed (freeing its ring slot)."""
+        self._check_stream(stream_id)
+        with self._lock:
+            ok = self._lock.wait_for(
+                lambda: self._closed or self._published[stream_id] >= version,
+                timeout=timeout,
+            )
+            if self._closed:
+                raise StorageError("channel closed while waiting")
+            if not ok:
+                raise StorageError(
+                    f"timed out waiting for stream {stream_id} version {version}"
+                )
+            payload = self._data[stream_id][version]
+            # Consumption is in order for the 1:1 streaming protocol.
+            self._consumed[stream_id] = max(self._consumed[stream_id], version)
+            evict_below = self._consumed[stream_id] - self.retained_versions + 1
+            for old in list(self._data[stream_id]):
+                if old < evict_below:
+                    del self._data[stream_id][old]
+            self._lock.notify_all()
+            return payload
+
+    def published_version(self, stream_id: int) -> int:
+        self._check_stream(stream_id)
+        with self._lock:
+            return self._published[stream_id]
+
+    def close(self) -> None:
+        """Wake all blocked parties with an error (shutdown path)."""
+        with self._lock:
+            self._closed = True
+            self._lock.notify_all()

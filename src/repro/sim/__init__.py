@@ -1,0 +1,47 @@
+"""Discrete-event simulation substrate.
+
+This package implements the virtual-time machinery every other layer runs on:
+
+* :mod:`repro.sim.engine` — the event loop and virtual clock.
+* :mod:`repro.sim.events` — one-shot events, timeouts, and combinators.
+* :mod:`repro.sim.process` — generator-based simulated processes.
+* :mod:`repro.sim.flow` — the fluid-flow network used to model concurrent
+  PMEM transfers with state-dependent bandwidth (see DESIGN.md §5).
+* :mod:`repro.sim.resources` — counting semaphores for token resources.
+* :mod:`repro.sim.trace` — structured timeline tracing.
+
+The engine is deliberately small and dependency-free: processes are plain
+Python generators that ``yield`` request objects (a delay, an event, another
+process, a flow transfer) and are resumed when the request completes.
+"""
+
+from repro.sim.engine import Engine, Timer
+from repro.sim.events import AllOf, AnyOf, SimEvent, Timeout
+from repro.sim.flow import (
+    CapacityResource,
+    Flow,
+    FlowNetwork,
+    ResourceLoad,
+    solve_rates,
+)
+from repro.sim.process import Process
+from repro.sim.resources import Semaphore
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CapacityResource",
+    "Engine",
+    "Flow",
+    "FlowNetwork",
+    "Process",
+    "ResourceLoad",
+    "Semaphore",
+    "SimEvent",
+    "Timeout",
+    "Timer",
+    "TraceRecord",
+    "Tracer",
+    "solve_rates",
+]

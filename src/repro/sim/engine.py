@@ -1,0 +1,173 @@
+"""The discrete-event engine: a virtual clock plus an ordered event queue.
+
+The engine owns *timers* (callbacks scheduled at absolute virtual times) and
+*processes* (generators that yield requests; see :mod:`repro.sim.process`).
+Timers are cancellable — the fluid-flow network constantly reschedules flow
+completions as concurrency changes, so cancellation must be O(1): cancelled
+timers stay in the heap and are skipped when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import SimEvent
+from repro.sim.process import Process
+
+
+class Timer:
+    """Handle for a scheduled callback; supports O(1) cancellation."""
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Safe to call repeatedly."""
+        self.cancelled = True
+
+
+class Engine:
+    """Virtual-time discrete-event loop.
+
+    Typical use::
+
+        engine = Engine()
+
+        def worker(env):
+            yield Timeout(1.0)
+            ...
+
+        engine.spawn(worker(engine), name="worker-0")
+        engine.run()
+        assert engine.now == 1.0
+
+    The engine enforces determinism: ties in event time are broken by a
+    monotonically increasing sequence number, so runs are exactly
+    reproducible.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._seq: int = 0
+        self._queue: List[Tuple[float, int, Timer]] = []
+        self._processes: List[Process] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling.
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Run *callback* ``delay`` seconds from now; returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        timer = Timer(self._now + delay, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, (timer.time, self._seq, timer))
+        return timer
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:
+        """Run *callback* at absolute virtual time *time*."""
+        return self.schedule(time - self._now, callback)
+
+    # ------------------------------------------------------------------
+    # Processes.
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        generator: Generator[Any, Any, Any],
+        name: str = "",
+        delay: float = 0.0,
+    ) -> Process:
+        """Create a :class:`Process` from *generator* and start it after *delay*."""
+        process = Process(self, generator, name=name)
+        self._processes.append(process)
+        self.schedule(delay, process.start)
+        return process
+
+    def event(self, name: str = "") -> SimEvent:
+        """Convenience constructor for a :class:`SimEvent`."""
+        return SimEvent(name=name)
+
+    def timeout_event(self, delay: float, value: Any = None, name: str = "") -> SimEvent:
+        """Return an event that succeeds ``delay`` seconds from now."""
+        event = SimEvent(name=name or f"timeout@{self._now + delay:.6f}")
+        self.schedule(delay, lambda: event.succeed(value))
+        return event
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next non-cancelled timer; return ``False`` if none remain."""
+        while self._queue:
+            time, _seq, timer = heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            if time < self._now:  # pragma: no cover - guarded by schedule()
+                raise SimulationError("event queue went backwards in time")
+            self._now = time
+            timer.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, check_deadlock: bool = True) -> float:
+        """Run until the queue drains (or virtual time *until* is reached).
+
+        Parameters
+        ----------
+        until:
+            Optional virtual-time horizon.  Events after the horizon remain
+            queued; the clock is advanced to exactly *until*.
+        check_deadlock:
+            When the queue drains while processes are still alive (blocked on
+            events nobody will trigger), raise :class:`DeadlockError` instead
+            of returning silently.  This catches protocol bugs such as a
+            reader waiting for a snapshot version that is never published.
+
+        Returns the final virtual time.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                next_time = self._peek_time()
+                if until is not None and next_time is not None and next_time > until:
+                    self._now = until
+                    return self._now
+                if not self.step():
+                    break
+            if until is not None and self._now < until:
+                self._now = until
+            if check_deadlock and until is None:
+                blocked = [p for p in self._processes if p.alive]
+                if blocked:
+                    names = ", ".join(p.name or "<anonymous>" for p in blocked[:8])
+                    raise DeadlockError(
+                        f"event queue drained with {len(blocked)} blocked "
+                        f"process(es): {names}"
+                    )
+            return self._now
+        finally:
+            self._running = False
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else None
+
+    @property
+    def alive_processes(self) -> List[Process]:
+        """Processes that have started but not yet finished."""
+        return [p for p in self._processes if p.alive]

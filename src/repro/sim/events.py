@@ -1,0 +1,170 @@
+"""Event primitives for the discrete-event engine.
+
+A :class:`SimEvent` is a one-shot signal: it starts *pending*, is triggered
+exactly once via :meth:`SimEvent.succeed` or :meth:`SimEvent.fail`, and then
+invokes its registered callbacks.  Processes wait on events by yielding them.
+
+:class:`Timeout` is a declarative request for a fixed virtual-time delay.
+:class:`AllOf` / :class:`AnyOf` combine events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+
+class SimEvent:
+    """A one-shot event that processes can wait on.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable label used in tracing and error messages.
+    """
+
+    __slots__ = ("name", "_callbacks", "_triggered", "_value", "_exception")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._callbacks: List[Callable[["SimEvent"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has succeeded or failed."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value.  Raises if the event failed or is pending."""
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} has not been triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or ``None``."""
+        return self._exception
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Trigger the event successfully with an optional payload."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "SimEvent":
+        """Trigger the event with an exception; waiters will re-raise it."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._exception = exception
+        self._dispatch()
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- waiting ----------------------------------------------------------
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Register *callback*; fired immediately if already triggered."""
+        if self._triggered:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self._triggered:
+            state = "failed" if self._exception is not None else "ok"
+        return f"<SimEvent {self.name!r} {state}>"
+
+
+class Timeout:
+    """Request object: suspend the yielding process for ``duration`` seconds."""
+
+    __slots__ = ("duration", "value")
+
+    def __init__(self, duration: float, value: Any = None) -> None:
+        if duration < 0:
+            raise SimulationError(f"negative timeout: {duration}")
+        self.duration = float(duration)
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.duration})"
+
+
+class AllOf(SimEvent):
+    """Composite event that succeeds once **all** child events succeed.
+
+    The success value is the list of child values, in input order.  If any
+    child fails, the composite fails with the first failure.
+    """
+
+    __slots__ = ("_children", "_pending_count")
+
+    def __init__(self, events: Sequence[SimEvent], name: str = "all_of") -> None:
+        super().__init__(name=name)
+        self._children = list(events)
+        self._pending_count = len(self._children)
+        if self._pending_count == 0:
+            self.succeed([])
+            return
+        for event in self._children:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, child: SimEvent) -> None:
+        if self.triggered:
+            return
+        if child.exception is not None:
+            self.fail(child.exception)
+            return
+        self._pending_count -= 1
+        if self._pending_count == 0:
+            self.succeed([event.value for event in self._children])
+
+
+class AnyOf(SimEvent):
+    """Composite event that succeeds as soon as **any** child succeeds.
+
+    The success value is ``(index, value)`` of the first triggering child.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, events: Sequence[SimEvent], name: str = "any_of") -> None:
+        super().__init__(name=name)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(self._children):
+            event.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[SimEvent], None]:
+        def _on_child(child: SimEvent) -> None:
+            if self.triggered:
+                return
+            if child.exception is not None:
+                self.fail(child.exception)
+            else:
+                self.succeed((index, child.value))
+
+        return _on_child

@@ -1,0 +1,465 @@
+"""Fluid-flow network: concurrent transfers over state-dependent resources.
+
+This module is the performance heart of the reproduction (DESIGN.md §5).
+Every PMEM transfer issued by a simulated rank becomes a :class:`Flow`
+traversing one or more :class:`CapacityResource` objects (the device read or
+write port, the remote NUMA path, ...).  Instead of simulating individual
+cache-line accesses, the network treats transfers as fluids and solves for
+their average rates whenever the set of active flows changes, using a
+*processor-sharing* model with software-overhead duty cycles:
+
+1.  Each flow has a *self cap* ``R_self = bytes_per_op / (t_sw + t_lat)``,
+    the throughput it would achieve on an infinitely fast device.  This
+    models per-object software-stack overhead (NOVAfs syscalls, NVStream
+    metadata) and idle device latency.
+2.  A flow occupies the device only while it is actually transferring.  Its
+    *duty cycle* is ``u = 1 - A / R_self`` (the fraction of wall time not
+    spent in software), where ``A`` is its achieved average rate.
+3.  While on the device, a flow proceeds at the instantaneous rate
+    ``D = min over path resources r of  C_r(load) / max(1, U_r)``, where
+    ``U_r`` is the total duty-weighted occupancy of resource *r* and
+    ``C_r(load)`` is the resource's state-dependent capacity curve (this is
+    where the non-linear Optane concurrency scaling enters).  Resources may
+    additionally impose a per-thread instantaneous cap (a single thread
+    cannot extract the device's full interleaved bandwidth).
+4.  The achieved rate is the harmonic combination
+    ``A = 1 / (1/R_self + 1/D)``; the solver iterates 2–4 to a damped fixed
+    point.
+
+A pleasant property of this system: for *n* identical flows on one resource,
+the fixed point satisfies ``Σ A_f = C`` exactly once the device saturates,
+and ``A_f → R_self`` (device untouched) when software overhead dominates —
+i.e. capacity conservation and the paper's "high software overhead lowers
+PMEM contention" observation (§VIII) both fall out of the model rather than
+being special-cased.
+
+Key emergent behaviours, each a headline observation of the paper:
+
+* many small objects → high per-op software cost → low duty cycle → low
+  effective device concurrency → parallel execution is cheap (§VIII);
+* large objects → duty ≈ 1 → device saturates → serial execution and
+  write-local placement win at high concurrency (§VI-A);
+* compute phases don't create flows at all → interleaved compute hides
+  contention (§VIII).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine, Timer
+
+#: Flows with fewer residual bytes than this are considered complete.
+COMPLETION_EPSILON_BYTES = 1e-3
+
+#: Lower clamp for duty cycles (keeps occupancy sums well conditioned).
+MIN_DUTY = 1e-6
+
+#: Fixed-point iterations for the duty-cycle solve.
+DUTY_ITERATIONS = 24
+
+#: Damping factor for the duty-cycle fixed point (1.0 = undamped).
+DUTY_DAMPING = 0.6
+
+#: Relative convergence tolerance on rates.
+RATE_TOLERANCE = 1e-5
+
+
+@dataclass
+class ResourceLoad:
+    """Duty-weighted view of the flows currently traversing one resource.
+
+    Capacity models receive this object and may key their curves on any of
+    the fields.  ``n_*`` fields are duty-weighted effective thread counts
+    (floats); ``raw_*`` fields are plain flow counts.  ``*_op_bytes`` are
+    duty-weighted geometric means of the per-operation access size.
+    """
+
+    n_read_local: float = 0.0
+    n_read_remote: float = 0.0
+    n_write_local: float = 0.0
+    n_write_remote: float = 0.0
+    raw_read_local: int = 0
+    raw_read_remote: int = 0
+    raw_write_local: int = 0
+    raw_write_remote: int = 0
+    read_op_bytes: float = 0.0
+    write_op_bytes: float = 0.0
+    #: Issue-capability-weighted remote-write occupancy: each flow
+    #: contributes ``min(duty, issue_weight)``.  Software-bound flows have
+    #: a bounded issue rate and cannot congest the cross-socket path no
+    #: matter how long they queue on the device — using the raw duty here
+    #: would create a congestion death-spiral (slow device -> higher duty
+    #: -> more congestion -> slower device).
+    congestion_write_remote: float = 0.0
+
+    @property
+    def n_reads(self) -> float:
+        """Duty-weighted effective number of concurrent readers."""
+        return self.n_read_local + self.n_read_remote
+
+    @property
+    def n_writes(self) -> float:
+        """Duty-weighted effective number of concurrent writers."""
+        return self.n_write_local + self.n_write_remote
+
+    @property
+    def n_total(self) -> float:
+        return self.n_reads + self.n_writes
+
+    @property
+    def n_remote(self) -> float:
+        return self.n_read_remote + self.n_write_remote
+
+    @property
+    def raw_total(self) -> int:
+        return (
+            self.raw_read_local
+            + self.raw_read_remote
+            + self.raw_write_local
+            + self.raw_write_remote
+        )
+
+
+CapacityFn = Callable[[ResourceLoad], float]
+
+
+class CapacityResource:
+    """A shared resource whose capacity depends on the current load mix.
+
+    The solver asks the resource, for each flow traversing it, what
+    *instantaneous* rate the flow would get while actively on the resource,
+    given the duty-weighted :class:`ResourceLoad`.  The default policy is
+    plain processor sharing — aggregate capacity divided by total occupancy,
+    clipped at an optional per-thread cap.  Device models (the Optane
+    resource in :mod:`repro.pmem.device`) subclass and override
+    :meth:`share` to hand out kind- and locality-specific rates.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in traces and error messages.
+    capacity_fn:
+        Callable mapping a :class:`ResourceLoad` to an aggregate capacity in
+        bytes/s.  May return ``math.inf`` for an unconstrained resource.
+    per_thread_cap_fn:
+        Optional callable mapping a :class:`ResourceLoad` to the maximum
+        instantaneous rate a *single* flow can extract (e.g. one thread
+        cannot saturate six interleaved Optane DIMMs by itself).  Defaults
+        to unbounded.
+    """
+
+    __slots__ = ("name", "_capacity_fn", "_per_thread_cap_fn")
+
+    def __init__(
+        self,
+        name: str,
+        capacity_fn: Optional[CapacityFn] = None,
+        per_thread_cap_fn: Optional[CapacityFn] = None,
+    ) -> None:
+        self.name = name
+        self._capacity_fn = capacity_fn
+        self._per_thread_cap_fn = per_thread_cap_fn
+
+    def capacity(self, load: ResourceLoad) -> float:
+        """Evaluate the aggregate capacity curve for *load*."""
+        if self._capacity_fn is None:
+            return math.inf
+        value = self._capacity_fn(load)
+        if value < 0 or math.isnan(value):
+            raise SimulationError(
+                f"capacity model for {self.name!r} returned invalid value {value}"
+            )
+        return value
+
+    def per_thread_cap(self, load: ResourceLoad) -> float:
+        """Evaluate the single-flow instantaneous rate cap for *load*."""
+        if self._per_thread_cap_fn is None:
+            return math.inf
+        value = self._per_thread_cap_fn(load)
+        if value <= 0 or math.isnan(value):
+            raise SimulationError(
+                f"per-thread cap for {self.name!r} returned invalid value {value}"
+            )
+        return value
+
+    def share(self, load: ResourceLoad, flow: "Flow") -> float:
+        """Instantaneous rate available to *flow* while it occupies the resource.
+
+        Default: processor sharing of the aggregate capacity across the
+        duty-weighted total occupancy, clipped at the per-thread cap.
+        """
+        return min(
+            self.capacity(load) / max(1.0, load.n_total),
+            self.per_thread_cap(load),
+        )
+
+    def observe(self, now: float, load: ResourceLoad) -> None:
+        """Hook invoked by the flow network on every rate recomputation.
+
+        Stateful device models (e.g. the Optane congestion EWMA) override
+        this; the default resource is stateless.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CapacityResource {self.name}>"
+
+
+@dataclass
+class Flow:
+    """One in-flight bulk transfer.
+
+    Parameters
+    ----------
+    nbytes:
+        Total payload of the transfer.
+    kind:
+        ``"read"`` or ``"write"`` — selects which capacity curves apply.
+    remote:
+        ``True`` when the issuing CPU and the target PMEM are on different
+        sockets (the transfer then traverses the remote-path resource too).
+    resources:
+        The capacity resources on the transfer's path.
+    self_cap:
+        Software-overhead throughput cap in bytes/s (``math.inf`` when the
+        per-op software cost is negligible).
+    op_bytes:
+        Bytes moved per logical operation (object size as seen by the
+        device); used by capacity curves for access-granularity effects.
+    label:
+        Trace label.
+    """
+
+    nbytes: float
+    kind: str
+    remote: bool
+    resources: Tuple[CapacityResource, ...]
+    self_cap: float = math.inf
+    op_bytes: float = 0.0
+    label: str = ""
+    #: Upper bound on this flow's contribution to congestion accounting
+    #: (see :attr:`ResourceLoad.congestion_write_remote`); typically
+    #: ``self_cap / (self_cap + single_thread_device_rate)``.
+    issue_weight: float = 1.0
+
+    # Runtime state managed by FlowNetwork.
+    remaining: float = field(init=False, default=0.0)
+    rate: float = field(init=False, default=0.0)
+    duty: float = field(init=False, default=1.0)
+    started_at: float = field(init=False, default=0.0)
+    done: SimEvent = field(init=False, repr=False)
+    _timer: Optional["Timer"] = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise SimulationError(f"flow kind must be 'read' or 'write', got {self.kind!r}")
+        if self.nbytes < 0:
+            raise SimulationError(f"flow payload must be non-negative, got {self.nbytes}")
+        if self.self_cap <= 0:
+            raise SimulationError(f"flow self_cap must be positive, got {self.self_cap}")
+        if self.op_bytes <= 0:
+            self.op_bytes = max(self.nbytes, 1.0)
+        self.remaining = float(self.nbytes)
+        self.done = SimEvent(name=f"flow:{self.label}.done")
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+def _build_loads(
+    flows: Sequence[Flow], duties: Dict[Flow, float]
+) -> Dict[CapacityResource, ResourceLoad]:
+    """Accumulate duty-weighted per-resource load statistics."""
+    loads: Dict[CapacityResource, ResourceLoad] = {}
+    log_sums: Dict[CapacityResource, Dict[str, float]] = {}
+    for f in flows:
+        weight = max(duties.get(f, 1.0), MIN_DUTY)
+        for resource in f.resources:
+            load = loads.setdefault(resource, ResourceLoad())
+            sums = log_sums.setdefault(resource, {"read": 0.0, "write": 0.0})
+            if f.kind == "read":
+                if f.remote:
+                    load.n_read_remote += weight
+                    load.raw_read_remote += 1
+                else:
+                    load.n_read_local += weight
+                    load.raw_read_local += 1
+                sums["read"] += weight * math.log(max(f.op_bytes, 1.0))
+            else:
+                if f.remote:
+                    load.n_write_remote += weight
+                    load.raw_write_remote += 1
+                    load.congestion_write_remote += min(weight, f.issue_weight)
+                else:
+                    load.n_write_local += weight
+                    load.raw_write_local += 1
+                sums["write"] += weight * math.log(max(f.op_bytes, 1.0))
+    for resource, load in loads.items():
+        sums = log_sums[resource]
+        if load.n_reads > 0:
+            load.read_op_bytes = math.exp(sums["read"] / load.n_reads)
+        if load.n_writes > 0:
+            load.write_op_bytes = math.exp(sums["write"] / load.n_writes)
+    return loads
+
+
+def solve_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
+    """Solve the processor-sharing duty-cycle fixed point for *flows*.
+
+    Returns the achieved average rate ``A_f`` (bytes/s) for every flow and
+    stores the converged duty cycle on each flow.  Pure function of the flow
+    set — exposed at module level so tests and the analytic cross-check can
+    call it without an engine.
+    """
+    if not flows:
+        return {}
+    duties: Dict[Flow, float] = {f: f.duty for f in flows}
+    rates: Dict[Flow, float] = {f: 0.0 for f in flows}
+    for _ in range(DUTY_ITERATIONS):
+        loads = _build_loads(flows, duties)
+        max_rel_change = 0.0
+        for f in flows:
+            device_rate = math.inf
+            for r in f.resources:
+                device_rate = min(device_rate, r.share(loads[r], f))
+            if math.isinf(device_rate):
+                new_rate = f.self_cap
+                new_duty = MIN_DUTY if math.isfinite(f.self_cap) else 1.0
+            elif math.isinf(f.self_cap):
+                new_rate = device_rate
+                new_duty = 1.0
+            else:
+                new_rate = 1.0 / (1.0 / f.self_cap + 1.0 / device_rate)
+                # Fraction of wall time spent on the device rather than in
+                # per-op software work: u = 1 - A / R_self.
+                new_duty = min(1.0, max(MIN_DUTY, 1.0 - new_rate / f.self_cap))
+            if math.isinf(new_rate):
+                raise SimulationError(
+                    f"flow {f.label!r} has unbounded rate: no resource or "
+                    "self cap constrains it"
+                )
+            old_rate = rates[f]
+            damped_duty = duties[f] + DUTY_DAMPING * (new_duty - duties[f])
+            duties[f] = min(1.0, max(MIN_DUTY, damped_duty))
+            rates[f] = new_rate
+            denom = max(new_rate, 1.0)
+            max_rel_change = max(max_rel_change, abs(new_rate - old_rate) / denom)
+        if max_rel_change < RATE_TOLERANCE:
+            break
+    for f in flows:
+        f.duty = duties[f]
+    return rates
+
+
+class FlowNetwork:
+    """Tracks active flows and keeps their rates consistent as load changes.
+
+    The network is lazy: rates are recomputed only when a flow starts or
+    finishes.  Between recomputations every flow progresses linearly at its
+    assigned rate, so completions can be scheduled exactly.
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self._flows: List[Flow] = []
+        self._last_update: float = 0.0
+        self.recompute_count: int = 0
+        self._observed_resources: set = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def active_flows(self) -> Tuple[Flow, ...]:
+        return tuple(self._flows)
+
+    def transfer(self, flow: Flow) -> SimEvent:
+        """Start *flow*; returns an event that succeeds on completion.
+
+        Zero-byte flows complete immediately (software-overhead-only
+        operations are charged by the storage stack before the flow starts).
+        """
+        if flow.done.triggered:
+            raise SimulationError(f"flow {flow.label!r} reused after completion")
+        flow.started_at = self.engine.now
+        if flow.remaining <= COMPLETION_EPSILON_BYTES:
+            flow.done.succeed(flow)
+            return flow.done
+        self._advance_progress()
+        self._flows.append(flow)
+        self._recompute()
+        return flow.done
+
+    def poke(self) -> None:
+        """Force a rate recomputation after external resource-state changes.
+
+        Used when something other than a flow start/finish alters resource
+        behaviour (e.g. a blocked reader registering as a metadata poller).
+        """
+        self._advance_progress()
+        self._recompute()
+
+    # ------------------------------------------------------------------
+    def _advance_progress(self) -> None:
+        """Apply linear progress at current rates since the last update."""
+        now = self.engine.now
+        dt = now - self._last_update
+        if dt > 0:
+            for flow in self._flows:
+                flow.remaining = max(0.0, flow.remaining - flow.rate * dt)
+        self._last_update = now
+
+    def _recompute(self) -> None:
+        """Resolve rates for the current flow set and reschedule completions."""
+        self.recompute_count += 1
+        rates = solve_rates(self._flows)
+        # Let stateful resources (congestion EWMAs) see the converged load;
+        # resources that just went idle observe an explicitly empty load so
+        # their state can decay.
+        duties = {f: f.duty for f in self._flows}
+        loads = _build_loads(self._flows, duties)
+        for resource in self._observed_resources - set(loads):
+            resource.observe(self.engine.now, ResourceLoad())
+        for resource, load in loads.items():
+            resource.observe(self.engine.now, load)
+        self._observed_resources = set(loads)
+        for flow in self._flows:
+            flow.rate = rates[flow]
+            if flow._timer is not None:
+                flow._timer.cancel()
+                flow._timer = None
+            if flow.rate > 0:
+                eta = flow.remaining / flow.rate
+                flow._timer = self.engine.schedule(eta, self._make_completion(flow))
+            elif flow.remaining <= COMPLETION_EPSILON_BYTES:
+                flow._timer = self.engine.schedule(0.0, self._make_completion(flow))
+            else:
+                raise SimulationError(
+                    f"flow {flow.label!r} stalled with zero rate and "
+                    f"{flow.remaining:.0f} bytes remaining"
+                )
+
+    def _make_completion(self, flow: Flow) -> Callable[[], None]:
+        def _complete() -> None:
+            self._advance_progress()
+            if flow.remaining > COMPLETION_EPSILON_BYTES:  # pragma: no cover
+                raise SimulationError(
+                    f"flow {flow.label!r} completion fired early "
+                    f"({flow.remaining:.0f} bytes left)"
+                )
+            flow.remaining = 0.0
+            flow.rate = 0.0
+            self._flows.remove(flow)
+            flow.done.succeed(flow)
+            # Recompute even when no flows remain so stateful resources
+            # observe the transition to idle.
+            self._recompute()
+
+        return _complete

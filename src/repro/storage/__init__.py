@@ -1,0 +1,40 @@
+"""PMEM software stacks and the streaming I/O channel.
+
+The paper evaluates two ways of accessing PMEM (§V):
+
+* **NOVAfs** — a log-structured PMEM filesystem (kernel space, POSIX);
+  modelled in :mod:`repro.storage.novafs`.
+* **NVStream** — a userspace versioned object store specialized for
+  streaming workflows; modelled in :mod:`repro.storage.nvstream`.
+
+Both are cost models over the same abstract interface
+(:class:`~repro.storage.base.StorageStack`): per-operation software time,
+write amplification, and remote-access multipliers.  The
+:class:`~repro.storage.channel.StreamChannel` implements the versioned
+snapshot protocol the workflow components communicate through.
+"""
+
+from repro.storage.base import OpProfile, StorageStack
+from repro.storage.channel import StreamChannel
+from repro.storage.novafs import NovaFS
+from repro.storage.nvstream import NVStream
+from repro.storage.objects import SnapshotSpec
+
+__all__ = [
+    "NVStream",
+    "NovaFS",
+    "OpProfile",
+    "SnapshotSpec",
+    "StorageStack",
+    "StreamChannel",
+]
+
+
+def stack_by_name(name: str) -> StorageStack:
+    """Instantiate a stack from its lowercase name ('nvstream' or 'novafs')."""
+    normalized = name.strip().lower()
+    if normalized == "nvstream":
+        return NVStream()
+    if normalized in ("novafs", "nova"):
+        return NovaFS()
+    raise ValueError(f"unknown storage stack {name!r}; use 'nvstream' or 'novafs'")

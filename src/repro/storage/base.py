@@ -1,0 +1,127 @@
+"""Abstract storage-stack cost model.
+
+A stack turns a logical object operation into (a) CPU-side software time —
+metadata updates, system calls, index lookups — and (b) the device transfer,
+possibly amplified by stack metadata (logs, journals).  The software time
+plus the idle device latency define the per-flow *self cap* consumed by the
+fluid-flow solver (:mod:`repro.sim.flow`):
+
+    ``R_self = op_bytes / (t_software + t_latency)``
+
+The paper's observation that "high software stack I/O overheads lower PMEM
+contention and allow for concurrent executions" (§VIII) enters the model
+entirely through this number.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.pmem.calibration import OptaneCalibration
+from repro.pmem.latency import op_latency
+
+_KINDS = ("read", "write")
+
+
+@dataclass(frozen=True)
+class OpProfile:
+    """Cost profile of one object operation through a stack.
+
+    Attributes
+    ----------
+    software_seconds:
+        CPU time per operation spent in the stack (not overlapping the
+        device transfer).
+    amplification:
+        Ratio of bytes physically moved to payload bytes (>= 1.0; log and
+        journal metadata).
+    """
+
+    software_seconds: float
+    amplification: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.software_seconds < 0:
+            raise StorageError(
+                f"software_seconds must be >= 0, got {self.software_seconds}"
+            )
+        if self.amplification < 1.0:
+            raise StorageError(
+                f"amplification must be >= 1.0, got {self.amplification}"
+            )
+
+
+class StorageStack(ABC):
+    """Interface all PMEM software-stack models implement."""
+
+    #: Human-readable stack name ("nvstream", "novafs").
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def op_profile(self, kind: str, op_bytes: float, remote: bool) -> OpProfile:
+        """Cost profile for one *kind* operation on an *op_bytes* object.
+
+        ``remote`` marks operations whose issuing CPU is on the other socket
+        from the channel: stack metadata then also lives across the UPI link
+        and the software path slows down accordingly.
+        """
+
+    @abstractmethod
+    def snapshot_overhead(self, kind: str, n_objects: int) -> float:
+        """Fixed software cost per snapshot (version commit / open), seconds."""
+
+    def device_access_bytes(self, kind: str, op_bytes: float) -> float:
+        """Granularity at which the *device* sees this stack's accesses.
+
+        Log-structured streaming stacks lay small objects out sequentially,
+        so the device observes large coalesced accesses even when the
+        logical objects are tiny — which is why small-object streaming does
+        not trip the device's small-access penalties under NVStream but may
+        under a block-oriented filesystem.  Default: no coalescing.
+        """
+        self._check_kind(kind)
+        return op_bytes
+
+    # ------------------------------------------------------------------
+    def self_cap(
+        self,
+        cal: OptaneCalibration,
+        kind: str,
+        op_bytes: float,
+        remote: bool,
+    ) -> float:
+        """Software-overhead throughput cap for a stream of object ops.
+
+        Combines the stack's per-op software time with the device's idle
+        access latency (one dependent stall per object, locality-aware).
+        Returns bytes/s; ``float('inf')`` is never returned — every stack
+        has some per-op cost.
+        """
+        self._check_kind(kind)
+        if op_bytes <= 0:
+            raise StorageError(f"op_bytes must be positive, got {op_bytes}")
+        profile = self.op_profile(kind, op_bytes, remote)
+        per_op_seconds = profile.software_seconds + op_latency(
+            cal, kind, remote, op_bytes
+        )
+        if per_op_seconds <= 0:
+            raise StorageError(
+                f"stack {self.name!r} produced non-positive per-op time"
+            )
+        return op_bytes / per_op_seconds
+
+    def amplification(self, kind: str, op_bytes: float, remote: bool) -> float:
+        """Write/read amplification for one operation (>= 1.0)."""
+        self._check_kind(kind)
+        return self.op_profile(kind, op_bytes, remote).amplification
+
+    @staticmethod
+    def _check_kind(kind: str) -> None:
+        if kind not in _KINDS:
+            raise StorageError(f"kind must be one of {_KINDS}, got {kind!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<StorageStack {self.name}>"

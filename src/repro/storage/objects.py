@@ -1,0 +1,59 @@
+"""Object and snapshot descriptors for streaming I/O.
+
+A *snapshot* is the unit a simulation rank publishes each iteration: a set
+of same-sized objects (checkpoint arrays for GTC, mesh blocks for miniAMR).
+The analytics rank consumes whole snapshots object by object (§V
+"Measurements": readers read individual objects in sequence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import fmt_bytes
+
+
+@dataclass(frozen=True)
+class SnapshotSpec:
+    """Per-rank, per-iteration I/O payload description.
+
+    Attributes
+    ----------
+    object_bytes:
+        Size of each streamed object.
+    objects_per_snapshot:
+        Number of objects a rank writes (and its paired reader reads) per
+        iteration.
+    """
+
+    object_bytes: int
+    objects_per_snapshot: int
+
+    def __post_init__(self) -> None:
+        if self.object_bytes <= 0:
+            raise ConfigurationError(
+                f"object_bytes must be positive, got {self.object_bytes}"
+            )
+        if self.objects_per_snapshot <= 0:
+            raise ConfigurationError(
+                f"objects_per_snapshot must be positive, got {self.objects_per_snapshot}"
+            )
+
+    @property
+    def snapshot_bytes(self) -> int:
+        """Total payload of one snapshot from one rank."""
+        return self.object_bytes * self.objects_per_snapshot
+
+    def total_bytes(self, ranks: int, iterations: int) -> int:
+        """Aggregate data volume produced by a component over a full run."""
+        if ranks <= 0 or iterations <= 0:
+            raise ConfigurationError("ranks and iterations must be positive")
+        return self.snapshot_bytes * ranks * iterations
+
+    def describe(self) -> str:
+        """Human-readable one-liner, e.g. '16384 x 64.0 KiB = 1.0 GiB'."""
+        return (
+            f"{self.objects_per_snapshot} x {fmt_bytes(self.object_bytes)}"
+            f" = {fmt_bytes(self.snapshot_bytes)}"
+        )

@@ -1,0 +1,113 @@
+"""Unit constants and formatting helpers.
+
+All sizes inside the library are plain ``int``/``float`` **bytes**, all times
+are ``float`` **seconds**, and all rates are ``float`` **bytes/second**.
+This module centralizes the conversion constants and pretty-printers so the
+rest of the code never hand-rolls ``1024 ** 3`` arithmetic.
+
+The paper mixes decimal (GB/s bandwidth figures quoted from Yang et al. /
+Izraelevitz et al.) and binary (object sizes like "64 MB", "2 KB") units.  We
+follow the same convention: device bandwidths are decimal (``GB``), object
+and snapshot sizes are binary (``MiB``), matching how the original numbers
+were reported.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Binary sizes (object / snapshot sizes).
+# --------------------------------------------------------------------------
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+TiB: int = 1024 * GiB
+
+# --------------------------------------------------------------------------
+# Decimal sizes (device bandwidth figures from the literature).
+# --------------------------------------------------------------------------
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+TB: int = 1000 * GB
+
+# --------------------------------------------------------------------------
+# Times.
+# --------------------------------------------------------------------------
+NANOSECOND: float = 1e-9
+MICROSECOND: float = 1e-6
+MILLISECOND: float = 1e-3
+SECOND: float = 1.0
+
+_SIZE_STEPS = (
+    (TiB, "TiB"),
+    (GiB, "GiB"),
+    (MiB, "MiB"),
+    (KiB, "KiB"),
+)
+
+_TIME_STEPS = (
+    (1.0, "s"),
+    (MILLISECOND, "ms"),
+    (MICROSECOND, "us"),
+    (NANOSECOND, "ns"),
+)
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``fmt_bytes(2048) == '2.0 KiB'``."""
+    sign = "-" if nbytes < 0 else ""
+    nbytes = abs(nbytes)
+    for step, suffix in _SIZE_STEPS:
+        if nbytes >= step:
+            return f"{sign}{nbytes / step:.1f} {suffix}"
+    return f"{sign}{nbytes:.0f} B"
+
+
+def fmt_rate(bytes_per_second: float) -> str:
+    """Format a bandwidth in decimal GB/s (the convention used by the paper)."""
+    return f"{bytes_per_second / GB:.2f} GB/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an appropriate suffix, e.g. ``fmt_time(0.25) == '250.0 ms'``."""
+    sign = "-" if seconds < 0 else ""
+    seconds = abs(seconds)
+    if seconds == 0:
+        return "0 s"
+    for step, suffix in _TIME_STEPS:
+        if seconds >= step:
+            return f"{sign}{seconds / step:.1f} {suffix}"
+    return f"{sign}{seconds / NANOSECOND:.2f} ns"
+
+
+def parse_size(text: str) -> int:
+    """Parse a human-readable size such as ``"64MB"``, ``"2 KiB"`` or ``"4096"``.
+
+    Decimal suffixes (KB/MB/GB) are treated as their *binary* equivalents
+    when parsing workload descriptions, matching the paper's loose usage
+    ("64MB objects" means ``64 * 2**20`` bytes in the benchmark sources).
+    Returns a byte count as ``int``.
+    """
+    text = text.strip()
+    multipliers = {
+        "B": 1,
+        "KB": KiB,
+        "KIB": KiB,
+        "K": KiB,
+        "MB": MiB,
+        "MIB": MiB,
+        "M": MiB,
+        "GB": GiB,
+        "GIB": GiB,
+        "G": GiB,
+        "TB": TiB,
+        "TIB": TiB,
+        "T": TiB,
+    }
+    upper = text.upper().replace(" ", "")
+    for suffix in sorted(multipliers, key=len, reverse=True):
+        if upper.endswith(suffix):
+            number = upper[: -len(suffix)]
+            if number:
+                return int(float(number) * multipliers[suffix])
+    return int(float(upper))

@@ -1,0 +1,39 @@
+"""Workflow model: components, compute kernels, specs, and the runner.
+
+A workflow couples a *simulation* component (writer) and an *analytics*
+component (reader) through a PMEM streaming channel, rank-paired 1:1, both
+iterating compute + I/O phases (§IV).  The
+:func:`~repro.workflow.runner.run_workflow` entry point executes a
+:class:`~repro.workflow.spec.WorkflowSpec` on the simulated platform under
+one of the paper's four scheduling configurations and returns a
+:class:`~repro.metrics.results.RunResult`.
+"""
+
+from repro.workflow.component import ComponentSpec
+from repro.workflow.iteration import IterationProfile, component_iteration_profile
+from repro.workflow.kernels import (
+    ComputeKernel,
+    FixedWorkKernel,
+    MatrixMultKernel,
+    NullKernel,
+    ParticlePushKernel,
+    PerObjectKernel,
+    StencilKernel,
+)
+from repro.workflow.runner import run_workflow
+from repro.workflow.spec import WorkflowSpec
+
+__all__ = [
+    "ComponentSpec",
+    "ComputeKernel",
+    "FixedWorkKernel",
+    "IterationProfile",
+    "MatrixMultKernel",
+    "NullKernel",
+    "ParticlePushKernel",
+    "PerObjectKernel",
+    "StencilKernel",
+    "WorkflowSpec",
+    "component_iteration_profile",
+    "run_workflow",
+]

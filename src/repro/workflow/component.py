@@ -1,0 +1,68 @@
+"""Workflow component specification.
+
+A component is one side of the in situ pipeline: the *simulation* (writer)
+or the *analytics* (reader).  It is described by its concurrency (MPI
+ranks), iteration count, per-iteration compute kernel, and its per-rank
+snapshot I/O signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.storage.objects import SnapshotSpec
+from repro.workflow.kernels import ComputeKernel
+
+_ROLES = ("simulation", "analytics")
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One workflow component.
+
+    Attributes
+    ----------
+    role:
+        ``"simulation"`` (writes snapshots) or ``"analytics"`` (reads them).
+    ranks:
+        Number of MPI ranks / threads (the paper uses the terms
+        interchangeably, §IV-C).
+    iterations:
+        Iterations each rank executes.
+    snapshot:
+        Per-rank per-iteration payload (shared with the paired component:
+        both sides access complete objects at the same granularity, §IV-C).
+    compute:
+        Per-iteration compute kernel.
+    """
+
+    role: str
+    ranks: int
+    iterations: int
+    snapshot: SnapshotSpec
+    compute: ComputeKernel
+
+    def __post_init__(self) -> None:
+        if self.role not in _ROLES:
+            raise ConfigurationError(f"role must be one of {_ROLES}, got {self.role!r}")
+        if self.ranks <= 0:
+            raise ConfigurationError(f"ranks must be positive, got {self.ranks}")
+        if self.iterations <= 0:
+            raise ConfigurationError(
+                f"iterations must be positive, got {self.iterations}"
+            )
+
+    @property
+    def io_kind(self) -> str:
+        """The PMEM operation kind this component performs."""
+        return "write" if self.role == "simulation" else "read"
+
+    @property
+    def compute_seconds(self) -> float:
+        """Per-rank per-iteration compute time."""
+        return self.compute.iteration_seconds()
+
+    def total_payload_bytes(self) -> int:
+        """Bytes this component moves over the whole run (all ranks)."""
+        return self.snapshot.total_bytes(self.ranks, self.iterations)

@@ -1,0 +1,171 @@
+"""Analytic per-iteration profile of a component (standalone, serial).
+
+The paper's **I/O index** (§IV-A) is defined on a *standalone* execution:
+the ratio of I/O time to iteration time when the component runs alone with
+node-local PMEM.  This module computes that profile in closed form from the
+same model the simulator uses — a useful cross-check on the discrete-event
+engine (the two must agree for contention-free homogeneous runs; tests
+enforce this), the cheap path for feature extraction, and the basis of the
+static cost-model recommender in :mod:`repro.core.recommend`.
+
+The closed form mirrors the simulator's duty-cycle fixed point
+(:mod:`repro.sim.flow`) for the homogeneous case: *n* identical ranks,
+one operation kind, one locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pmem.bandwidth import (
+    access_efficiency,
+    read_bandwidth_total,
+    remote_read_factor,
+    remote_write_factor,
+    sustained_congestion_factor,
+    write_bandwidth_total,
+)
+from repro.pmem.calibration import DEFAULT_CALIBRATION, OptaneCalibration
+from repro.storage import stack_by_name
+from repro.storage.base import StorageStack
+from repro.workflow.component import ComponentSpec
+
+_FIXED_POINT_ITERATIONS = 40
+_FIXED_POINT_DAMPING = 0.6
+
+
+@dataclass(frozen=True)
+class IterationProfile:
+    """Phase composition of one standalone iteration of one rank.
+
+    Attributes
+    ----------
+    compute_seconds:
+        Pure compute phase.
+    io_seconds:
+        Wall time of the I/O phase (software + device, interleaved per op).
+    rate_bytes_per_s:
+        Achieved per-rank throughput during the I/O phase.
+    self_cap_bytes_per_s / device_share_bytes_per_s:
+        The two throughput terms whose harmonic mean is the achieved rate.
+    duty:
+        Converged device duty cycle of the I/O phase (1.0 = device-bound,
+        near 0 = software-bound).
+    effective_concurrency:
+        Duty-weighted device concurrency ``ranks * duty`` — the paper's
+        "actual level of concurrency experienced by PMEM" (§VIII).
+    """
+
+    compute_seconds: float
+    io_seconds: float
+    rate_bytes_per_s: float
+    self_cap_bytes_per_s: float
+    device_share_bytes_per_s: float
+    duty: float
+    effective_concurrency: float
+
+    @property
+    def iteration_seconds(self) -> float:
+        return self.compute_seconds + self.io_seconds
+
+    @property
+    def io_index(self) -> float:
+        """I/O time / iteration time, the paper's workflow parameter."""
+        total = self.iteration_seconds
+        return self.io_seconds / total if total > 0 else 0.0
+
+    @property
+    def software_fraction(self) -> float:
+        """Share of the I/O phase spent CPU-side (1 - duty)."""
+        return 1.0 - self.duty
+
+    @property
+    def device_pressure(self) -> float:
+        """Average device occupancy contributed over the whole iteration:
+        effective concurrency scaled by the I/O share of the iteration."""
+        return self.effective_concurrency * self.io_index
+
+
+def component_iteration_profile(
+    component: ComponentSpec,
+    cal: OptaneCalibration = DEFAULT_CALIBRATION,
+    stack: "StorageStack | str" = "nvstream",
+    remote: bool = False,
+) -> IterationProfile:
+    """Standalone profile of one rank's iteration.
+
+    Assumes all ``component.ranks`` ranks are active concurrently with no
+    *other* traffic — the configuration the paper's I/O-index definition
+    prescribes (with ``remote=False``).  With ``remote=True`` the same
+    component is profiled accessing the other socket's PMEM, which is what
+    the static recommender uses to estimate placement penalties.
+    """
+    if isinstance(stack, str):
+        stack = stack_by_name(stack)
+    kind = component.io_kind
+    snapshot = component.snapshot
+    op_bytes = float(snapshot.object_bytes)
+    n = float(component.ranks)
+
+    self_cap = stack.self_cap(cal, kind, op_bytes, remote)
+    amplification = stack.amplification(kind, op_bytes, remote)
+    moved_bytes = snapshot.snapshot_bytes * amplification
+    device_bytes = stack.device_access_bytes(kind, op_bytes)
+    size_eff = access_efficiency(cal, kind, device_bytes, component.ranks)
+
+    # Duty fixed point, mirroring repro.sim.flow.solve_rates for the
+    # homogeneous single-kind case.
+    if kind == "write":
+        single_thread = cal.single_thread_write()
+    else:
+        single_thread = cal.single_thread_read()
+    issue_weight = self_cap / (self_cap + single_thread)
+    compute_seconds = component.compute_seconds
+    duty = 1.0
+    rate = self_cap
+    share = self_cap
+    for _ in range(_FIXED_POINT_ITERATIONS):
+        n_eff = max(1.0, n * duty)
+        if kind == "write":
+            total = write_bandwidth_total(cal, n_eff)
+            if remote:
+                # Knee on the raw writer thread count (per-thread WC /
+                # coherence streams), steady-state congestion on the
+                # time-averaged issue-capable occupancy.
+                streams = min(n, cal.remote_write_knee_duty_factor * n * duty)
+                total *= remote_write_factor(cal, max(1.0, streams), device_bytes)
+                io_estimate = moved_bytes / rate if rate > 0 else 0.0
+                io_fraction = (
+                    io_estimate / (io_estimate + compute_seconds)
+                    if io_estimate + compute_seconds > 0
+                    else 0.0
+                )
+                sustained = n * min(duty, issue_weight) * io_fraction
+                total *= sustained_congestion_factor(cal, sustained)
+        else:
+            total = read_bandwidth_total(cal, n_eff)
+            if remote:
+                total *= remote_read_factor(cal, n_eff)
+        total *= size_eff
+        share = total / n_eff
+        if kind == "write" and remote:
+            share = min(share, cal.remote_write_thread_cap)
+        rate = 1.0 / (1.0 / self_cap + 1.0 / share)
+        new_duty = min(1.0, max(1e-6, 1.0 - rate / self_cap))
+        if abs(new_duty - duty) < 1e-7:
+            duty = new_duty
+            break
+        duty += _FIXED_POINT_DAMPING * (new_duty - duty)
+
+    io_seconds = moved_bytes / rate + stack.snapshot_overhead(
+        kind, snapshot.objects_per_snapshot
+    )
+    return IterationProfile(
+        compute_seconds=component.compute_seconds,
+        io_seconds=io_seconds,
+        rate_bytes_per_s=rate,
+        self_cap_bytes_per_s=self_cap,
+        device_share_bytes_per_s=share,
+        duty=duty,
+        effective_concurrency=n * duty,
+    )

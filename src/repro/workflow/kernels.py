@@ -1,0 +1,149 @@
+"""Compute-kernel cost models for workflow components.
+
+Each kernel answers one question: how many seconds of pure computation does
+one rank spend per iteration?  Kernels never touch the device — the paper's
+"interleaved compute hides contention" effect (§VIII) follows from compute
+phases not pressuring PMEM at all.
+
+Kernels are parameterized in problem terms (particles, mesh blocks, matrix
+dimensions) and converted to seconds through an effective per-core
+computation rate, so workloads weak-scale the way the applications do.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Effective per-core floating-point rate used to convert kernel work to
+#: time (a few GFLOP/s of *achieved* throughput on a Xeon core, memory
+#: traffic included).  Only ratios between kernels matter to the study.
+DEFAULT_CORE_GFLOPS: float = 4.0
+
+
+class ComputeKernel(ABC):
+    """Abstract per-iteration compute cost model for one rank."""
+
+    @abstractmethod
+    def iteration_seconds(self) -> float:
+        """Pure compute time of one rank for one iteration, in seconds."""
+
+    @property
+    def is_null(self) -> bool:
+        """True when the component has no compute phase at all."""
+        return self.iteration_seconds() == 0.0
+
+
+@dataclass(frozen=True)
+class NullKernel(ComputeKernel):
+    """No compute phase (the I/O-only microbenchmark and Read-Only kernel)."""
+
+    def iteration_seconds(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class FixedWorkKernel(ComputeKernel):
+    """A kernel with an explicitly specified per-iteration duration."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ConfigurationError(f"kernel seconds must be >= 0, got {self.seconds}")
+
+    def iteration_seconds(self) -> float:
+        return self.seconds
+
+
+@dataclass(frozen=True)
+class MatrixMultKernel(ComputeKernel):
+    """Dense matrix-multiplication analytics kernel (§IV-B).
+
+    ``multiplies`` products of ``dim x dim`` matrices at ``2 * dim**3``
+    flops each.  The GTC variant performs many multiplies of large arrays
+    per iteration; see :mod:`repro.apps.analytics` for the concrete
+    parameterizations.
+    """
+
+    multiplies: int
+    dim: int
+    gflops: float = DEFAULT_CORE_GFLOPS
+
+    def __post_init__(self) -> None:
+        if self.multiplies < 0 or self.dim <= 0 or self.gflops <= 0:
+            raise ConfigurationError("invalid MatrixMultKernel parameters")
+
+    def iteration_seconds(self) -> float:
+        flops = 2.0 * self.multiplies * float(self.dim) ** 3
+        return flops / (self.gflops * 1e9)
+
+
+@dataclass(frozen=True)
+class PerObjectKernel(ComputeKernel):
+    """Compute proportional to the number of streamed objects.
+
+    Used for the miniAMR + MatrixMult analytics kernel: 5 small matrix
+    multiplications on *each* of the snapshot's many small objects — cheap
+    per object, large in aggregate (§IV-B).
+    """
+
+    objects: int
+    seconds_per_object: float
+
+    def __post_init__(self) -> None:
+        if self.objects < 0 or self.seconds_per_object < 0:
+            raise ConfigurationError("invalid PerObjectKernel parameters")
+
+    def iteration_seconds(self) -> float:
+        return self.objects * self.seconds_per_object
+
+
+@dataclass(frozen=True)
+class ParticlePushKernel(ComputeKernel):
+    """Particle-in-cell push/scatter step (the GTC simulation kernel).
+
+    ``particles`` particles advanced per iteration at ``flops_per_particle``
+    fused operations each (field interpolation, push, charge deposition).
+    """
+
+    particles: int
+    flops_per_particle: float = 360.0
+    gflops: float = DEFAULT_CORE_GFLOPS
+
+    def __post_init__(self) -> None:
+        if self.particles < 0 or self.flops_per_particle < 0 or self.gflops <= 0:
+            raise ConfigurationError("invalid ParticlePushKernel parameters")
+
+    def iteration_seconds(self) -> float:
+        return self.particles * self.flops_per_particle / (self.gflops * 1e9)
+
+
+@dataclass(frozen=True)
+class StencilKernel(ComputeKernel):
+    """Seven-point stencil over mesh blocks (the miniAMR simulation kernel).
+
+    ``blocks`` blocks of ``cells_per_block`` cells, ``flops_per_cell`` fused
+    operations per cell per sweep, ``sweeps`` sweeps per iteration.
+    """
+
+    blocks: int
+    cells_per_block: int
+    flops_per_cell: float = 8.0
+    sweeps: int = 1
+    gflops: float = DEFAULT_CORE_GFLOPS
+
+    def __post_init__(self) -> None:
+        if min(self.blocks, self.cells_per_block, self.sweeps) < 0 or self.gflops <= 0:
+            raise ConfigurationError("invalid StencilKernel parameters")
+
+    def iteration_seconds(self) -> float:
+        flops = (
+            float(self.blocks)
+            * self.cells_per_block
+            * self.flops_per_cell
+            * self.sweeps
+        )
+        return flops / (self.gflops * 1e9)

@@ -1,0 +1,40 @@
+"""Shared fixtures.
+
+The expensive artifact — exhaustively tuning all 18 suite workflows — is
+computed once per session and shared by the reproduction, recommendation,
+and metrics integration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.apps.suite import SuiteEntry, workflow_suite
+from repro.core.autotune import ExhaustiveTuner, TuningReport
+from repro.pmem.calibration import DEFAULT_CALIBRATION
+
+
+@pytest.fixture(scope="session")
+def cal():
+    """The default first-generation Optane calibration."""
+    return DEFAULT_CALIBRATION
+
+
+@pytest.fixture(scope="session")
+def suite_entries():
+    """The 18-workflow suite with paper expectations."""
+    return workflow_suite()
+
+
+@pytest.fixture(scope="session")
+def suite_reports(suite_entries) -> Dict[Tuple[str, int], TuningReport]:
+    """Oracle (all-configuration) reports for every suite workflow."""
+    tuner = ExhaustiveTuner()
+    return {entry.key: tuner.tune(entry.spec) for entry in suite_entries}
+
+
+@pytest.fixture(scope="session")
+def suite_by_key(suite_entries) -> Dict[Tuple[str, int], SuiteEntry]:
+    return {entry.key: entry for entry in suite_entries}

@@ -1,0 +1,61 @@
+"""Unit tests for the Table I configuration objects."""
+
+import pytest
+
+from repro.core.configs import (
+    ALL_CONFIGS,
+    P_LOCR,
+    P_LOCW,
+    S_LOCR,
+    S_LOCW,
+    ExecutionMode,
+    Placement,
+    SchedulerConfig,
+)
+
+
+class TestTableI:
+    def test_four_configs(self):
+        assert len(ALL_CONFIGS) == 4
+        assert len({c.label for c in ALL_CONFIGS}) == 4
+
+    def test_labels_match_paper(self):
+        assert [c.label for c in ALL_CONFIGS] == [
+            "S-LocW",
+            "S-LocR",
+            "P-LocW",
+            "P-LocR",
+        ]
+
+    def test_semantics(self):
+        assert S_LOCW.writer_local and not S_LOCW.reader_local
+        assert S_LOCR.reader_local and not S_LOCR.writer_local
+        assert not S_LOCW.parallel
+        assert P_LOCR.parallel
+
+    def test_placement_values_match_paper_table(self):
+        assert Placement.LOCAL_WRITE.value == "local-write-remote-read"
+        assert Placement.LOCAL_READ.value == "remote-write-local-read"
+
+    def test_mode_shorthand(self):
+        assert ExecutionMode.SERIAL.short == "S"
+        assert ExecutionMode.PARALLEL.short == "P"
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=lambda c: c.label)
+    def test_from_label_roundtrip(self, config):
+        assert SchedulerConfig.from_label(config.label) == config
+
+    def test_from_label_case_insensitive(self):
+        assert SchedulerConfig.from_label("s_locw") == S_LOCW
+        assert SchedulerConfig.from_label(" p-locr ") == P_LOCR
+
+    def test_from_label_unknown(self):
+        with pytest.raises(ValueError, match="unknown configuration"):
+            SchedulerConfig.from_label("X-LocQ")
+
+    def test_str(self):
+        assert str(P_LOCW) == "P-LocW"
+
+    def test_hashable_and_comparable(self):
+        assert SchedulerConfig(ExecutionMode.SERIAL, Placement.LOCAL_WRITE) == S_LOCW
+        assert len({S_LOCW, S_LOCR, P_LOCW, P_LOCR}) == 4

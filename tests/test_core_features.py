@@ -1,0 +1,118 @@
+"""Unit tests for workflow feature extraction."""
+
+import pytest
+
+from repro.apps.gtc import gtc_workflow
+from repro.apps.microbench import micro_workflow
+from repro.apps.miniamr import miniamr_workflow
+from repro.apps.analytics import (
+    gtc_matrixmult_kernel,
+    miniamr_matrixmult_kernel,
+    read_only_kernel,
+)
+from repro.apps.miniamr import MINIAMR_OBJECTS_PER_RANK
+from repro.core.features import (
+    ConcurrencyClass,
+    IntensityClass,
+    SizeClass,
+    classify_compute,
+    classify_concurrency,
+    classify_io,
+    classify_size,
+    extract_features,
+)
+from repro.units import KiB, MiB
+
+
+class TestClassifiers:
+    @pytest.mark.parametrize(
+        "ranks,expected",
+        [
+            (4, ConcurrencyClass.LOW),
+            (8, ConcurrencyClass.LOW),
+            (12, ConcurrencyClass.MEDIUM),
+            (16, ConcurrencyClass.MEDIUM),
+            (24, ConcurrencyClass.HIGH),
+        ],
+    )
+    def test_concurrency(self, ranks, expected):
+        assert classify_concurrency(ranks) is expected
+
+    def test_size(self):
+        assert classify_size(2 * KiB) is SizeClass.SMALL
+        assert classify_size(4608) is SizeClass.SMALL
+        assert classify_size(64 * MiB) is SizeClass.LARGE
+        assert classify_size(229 * MiB) is SizeClass.LARGE
+
+    def test_compute(self):
+        assert classify_compute(0.0, 1.0) is IntensityClass.NIL
+        assert classify_compute(0.1, 1.0) is IntensityClass.LOW
+        assert classify_compute(2.0, 1.0) is IntensityClass.HIGH
+
+    def test_io(self):
+        assert classify_io(0.9) is IntensityClass.HIGH
+        assert classify_io(0.3) is IntensityClass.MEDIUM
+        assert classify_io(0.1) is IntensityClass.LOW
+
+
+class TestExtractedFeatures:
+    def test_micro_is_pure_io(self):
+        features = extract_features(micro_workflow(64 * MiB, 16))
+        assert features.sim_compute_class is IntensityClass.NIL
+        assert features.analytics_compute_class is IntensityClass.NIL
+        assert features.sim_io_index == pytest.approx(1.0)
+        assert features.analytics_io_index == pytest.approx(1.0)
+
+    def test_gtc_is_compute_heavy_sim(self):
+        """Figure 3: GTC has a low simulation I/O index."""
+        features = extract_features(gtc_workflow(read_only_kernel(), ranks=16))
+        assert features.sim_compute_class is IntensityClass.HIGH
+        assert features.sim_io_index < 0.35
+        assert features.object_size is SizeClass.LARGE
+
+    def test_miniamr_is_io_heavy_sim(self):
+        """Figure 3: miniAMR has a high simulation I/O index."""
+        features = extract_features(miniamr_workflow(read_only_kernel(), ranks=16))
+        assert features.sim_write_class is IntensityClass.HIGH
+        assert features.sim_io_index > 0.6
+        assert features.object_size is SizeClass.SMALL
+
+    def test_matmult_analytics_compute_heavy(self):
+        features = extract_features(
+            miniamr_workflow(
+                miniamr_matrixmult_kernel(MINIAMR_OBJECTS_PER_RANK), ranks=16
+            )
+        )
+        assert features.analytics_compute_class is IntensityClass.HIGH
+
+    def test_gtc_matmult_compute_heavy(self):
+        features = extract_features(gtc_workflow(gtc_matrixmult_kernel(), ranks=16))
+        assert features.analytics_compute_class is IntensityClass.HIGH
+
+    def test_micro_2k_software_bound(self):
+        """§VIII: the 2K workflow's software overhead lowers the effective
+        concurrency PMEM sees, so it never becomes write-bound."""
+        features = extract_features(micro_workflow(2 * KiB, 24))
+        assert not features.write_bandwidth_bound
+
+    def test_micro_64mb_write_bound(self):
+        # Utilization is measured against the 13.9 GB/s peak; at 8 ranks the
+        # device-bound 64 MB workflow extracts ~95 % of it.
+        features = extract_features(micro_workflow(64 * MiB, 8))
+        assert features.write_bandwidth_bound
+        assert features.write_utilization > 0.9
+
+    def test_remote_profiles_not_faster(self):
+        features = extract_features(miniamr_workflow(read_only_kernel(), ranks=24))
+        assert (
+            features.sim_remote_profile.io_seconds
+            >= features.sim_profile.io_seconds
+        )
+        assert (
+            features.analytics_remote_profile.io_seconds
+            >= features.analytics_profile.io_seconds
+        )
+
+    def test_effective_concurrency_below_raw(self):
+        features = extract_features(micro_workflow(2 * KiB, 24))
+        assert features.effective_io_concurrency < 2 * 24

@@ -1,0 +1,129 @@
+"""Unit tests for the platform model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.platform.builder import paper_testbed, single_socket_node
+from repro.platform.topology import CorePool, Node, Socket
+from repro.pmem.calibration import DEFAULT_CALIBRATION
+from repro.pmem.device import OptaneDevice
+from repro.units import GiB
+
+
+class TestCorePool:
+    def test_allocate_and_release(self):
+        pool = CorePool(0, 4)
+        cores = pool.allocate(3, owner="writer")
+        assert cores == [0, 1, 2]
+        assert pool.available == 1
+        pool.release(cores)
+        assert pool.available == 4
+
+    def test_over_allocation_raises(self):
+        pool = CorePool(0, 4)
+        with pytest.raises(PlacementError, match="only 4"):
+            pool.allocate(5)
+
+    def test_negative_allocation_raises(self):
+        with pytest.raises(PlacementError):
+            CorePool(0, 4).allocate(-1)
+
+    def test_double_release_raises(self):
+        pool = CorePool(0, 4)
+        cores = pool.allocate(1)
+        pool.release(cores)
+        with pytest.raises(PlacementError):
+            pool.release(cores)
+
+    def test_owner_tracking(self):
+        pool = CorePool(0, 4)
+        pool.allocate(2, owner="writer")
+        assert pool.owner_of(0) == "writer"
+        with pytest.raises(PlacementError):
+            pool.owner_of(3)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorePool(0, 0)
+
+    def test_released_cores_reused_in_order(self):
+        pool = CorePool(0, 4)
+        first = pool.allocate(2)
+        pool.release(first)
+        assert pool.allocate(2) == [0, 1]
+
+
+class TestNode:
+    def make_node(self):
+        sockets = [
+            Socket(socket_id=i, n_cores=28, pmem=OptaneDevice(socket_id=i))
+            for i in range(2)
+        ]
+        return Node(sockets, upi_bandwidth=30e9)
+
+    def test_socket_lookup(self):
+        node = self.make_node()
+        assert node.socket(1).socket_id == 1
+
+    def test_socket_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            self.make_node().socket(2)
+
+    def test_misnumbered_sockets_rejected(self):
+        socket = Socket(socket_id=1, n_cores=4, pmem=OptaneDevice(socket_id=1))
+        with pytest.raises(ConfigurationError):
+            Node([socket], upi_bandwidth=30e9)
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Node([], upi_bandwidth=30e9)
+
+    def test_local_flow_path(self):
+        node = self.make_node()
+        path, remote = node.flow_path(0, 0)
+        assert not remote
+        assert len(path) == 1
+        assert path[0] is node.socket(0).pmem.resource
+
+    def test_remote_flow_path_includes_upi(self):
+        node = self.make_node()
+        path, remote = node.flow_path(0, 1)
+        assert remote
+        assert node.socket(1).pmem.resource in path
+        assert node.upi(0, 1) in path
+
+    def test_upi_symmetric(self):
+        node = self.make_node()
+        assert node.upi(0, 1) is node.upi(1, 0)
+
+    def test_upi_self_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_node().upi(0, 0)
+
+
+class TestBuilders:
+    def test_paper_testbed_shape(self):
+        """§V: dual socket, 28 cores each, 6 x 512 GB Optane per socket."""
+        node = paper_testbed()
+        assert node.n_sockets == 2
+        for socket in node.sockets:
+            assert socket.n_cores == 28
+            assert socket.pmem.capacity_bytes == 6 * 512 * GiB
+
+    def test_paper_testbed_uses_calibration(self):
+        cal = DEFAULT_CALIBRATION.replace(local_read_peak=40e9)
+        node = paper_testbed(cal=cal)
+        assert node.socket(0).pmem.cal.local_read_peak == 40e9
+
+    def test_single_socket_node(self):
+        node = single_socket_node(cores=8)
+        assert node.n_sockets == 1
+        assert node.socket(0).n_cores == 8
+
+    def test_upi_capacity_from_calibration(self):
+        node = paper_testbed()
+        from repro.sim.flow import ResourceLoad
+
+        assert node.upi(0, 1).capacity(ResourceLoad()) == pytest.approx(
+            DEFAULT_CALIBRATION.upi_bandwidth
+        )

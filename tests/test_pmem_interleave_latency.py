@@ -1,0 +1,100 @@
+"""Unit tests for interleaving geometry and the latency model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.pmem.calibration import DEFAULT_CALIBRATION
+from repro.pmem.interleave import InterleaveSet
+from repro.pmem.latency import op_latency
+from repro.units import KiB, MiB
+
+CAL = DEFAULT_CALIBRATION
+
+
+class TestInterleaveSet:
+    def test_default_geometry(self):
+        interleave = InterleaveSet()
+        assert interleave.stripe_bytes == 24 * KiB
+
+    def test_dimm_of_walks_round_robin(self):
+        interleave = InterleaveSet(chunk_bytes=4096, ndimms=6)
+        assert [interleave.dimm_of(i * 4096) for i in range(7)] == [0, 1, 2, 3, 4, 5, 0]
+
+    def test_dimm_of_within_chunk(self):
+        interleave = InterleaveSet(chunk_bytes=4096, ndimms=6)
+        assert interleave.dimm_of(4095) == 0
+        assert interleave.dimm_of(4096) == 1
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterleaveSet().dimm_of(-1)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterleaveSet(chunk_bytes=0)
+
+    def test_chunks_of_spans_boundaries(self):
+        interleave = InterleaveSet(chunk_bytes=4096, ndimms=6)
+        chunks = interleave.chunks_of(4000, 8192)
+        assert chunks == [0, 1, 2]
+
+    def test_chunks_of_empty(self):
+        assert InterleaveSet().chunks_of(0, 0) == []
+
+    def test_histogram_counts_all_dimms(self):
+        interleave = InterleaveSet(chunk_bytes=4096, ndimms=6)
+        histogram = interleave.dimm_histogram([(0, 24 * KiB)])
+        assert histogram == {d: 1 for d in range(6)}
+
+    def test_imbalance_even_stripe(self):
+        interleave = InterleaveSet(chunk_bytes=4096, ndimms=6)
+        assert interleave.imbalance([(0, 24 * KiB)]) == pytest.approx(1.0)
+
+    def test_imbalance_hotspot(self):
+        """Random 4 KB accesses landing on one DIMM show max imbalance."""
+        interleave = InterleaveSet(chunk_bytes=4096, ndimms=6)
+        accesses = [(0, 4096)] * 10  # all on DIMM 0
+        assert interleave.imbalance(accesses) == pytest.approx(6.0)
+
+    def test_imbalance_empty_trace(self):
+        assert InterleaveSet().imbalance([]) == 1.0
+
+    @given(
+        offset=st.integers(min_value=0, max_value=2**40),
+        nbytes=st.integers(min_value=1, max_value=1 * MiB),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_chunk_count(self, offset, nbytes):
+        interleave = InterleaveSet()
+        chunks = interleave.chunks_of(offset, nbytes)
+        expected = (offset + nbytes - 1) // 4096 - offset // 4096 + 1
+        assert len(chunks) == expected
+
+
+class TestLatency:
+    def test_write_cheaper_than_read(self):
+        """§II-B: 90 ns write vs 169 ns read (the WPQ absorbs writes)."""
+        assert op_latency(CAL, "write", False, 64) < op_latency(CAL, "read", False, 64)
+
+    def test_remote_adds_latency(self):
+        assert op_latency(CAL, "read", True, 2048) > op_latency(CAL, "read", False, 2048)
+        assert op_latency(CAL, "write", True, 2048) >= op_latency(
+            CAL, "write", False, 2048
+        )
+
+    def test_small_read_is_one_stall(self):
+        assert op_latency(CAL, "read", False, 2048) == pytest.approx(
+            CAL.read_latency_local
+        )
+
+    def test_large_read_amortizes_per_chunk(self):
+        per_byte_small = op_latency(CAL, "read", False, 2 * KiB) / (2 * KiB)
+        per_byte_large = op_latency(CAL, "read", False, 64 * MiB) / (64 * MiB)
+        assert per_byte_large < per_byte_small
+
+    def test_write_latency_size_independent(self):
+        assert op_latency(CAL, "write", False, 64) == op_latency(
+            CAL, "write", False, 64 * MiB
+        )

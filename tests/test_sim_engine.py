@@ -1,0 +1,149 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Engine
+from repro.sim.events import SimEvent, Timeout
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_callbacks_run_in_time_order(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(2.0, lambda: seen.append("late"))
+        engine.schedule(1.0, lambda: seen.append("early"))
+        engine.run()
+        assert seen == ["early", "late"]
+        assert engine.now == 2.0
+
+    def test_ties_break_by_insertion_order(self):
+        engine = Engine()
+        seen = []
+        for i in range(5):
+            engine.schedule(1.0, lambda i=i: seen.append(i))
+        engine.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(3.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.0]
+
+    def test_cancelled_timer_does_not_fire(self):
+        engine = Engine()
+        seen = []
+        timer = engine.schedule(1.0, lambda: seen.append("x"))
+        timer.cancel()
+        engine.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self):
+        timer = Engine().schedule(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert timer.cancelled
+
+    def test_run_until_stops_clock_exactly(self):
+        engine = Engine()
+        engine.schedule(10.0, lambda: None)
+        engine.run(until=4.0)
+        assert engine.now == 4.0
+        # The remaining event still fires afterwards.
+        engine.run()
+        assert engine.now == 10.0
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(
+            1.0, lambda: engine.schedule(1.0, lambda: seen.append(engine.now))
+        )
+        engine.run()
+        assert seen == [2.0]
+
+    def test_determinism_across_runs(self):
+        def build():
+            engine = Engine()
+            order = []
+            for i, d in enumerate((3.0, 1.0, 2.0, 1.0)):
+                engine.schedule(d, lambda i=i: order.append(i))
+            engine.run()
+            return order
+
+        assert build() == build()
+
+
+class TestProcessesViaEngine:
+    def test_spawn_runs_generator(self):
+        engine = Engine()
+        seen = []
+
+        def body():
+            yield Timeout(1.0)
+            seen.append(engine.now)
+            yield 0.5
+            seen.append(engine.now)
+
+        engine.spawn(body(), name="p")
+        engine.run()
+        assert seen == [1.0, 1.5]
+
+    def test_spawn_delay(self):
+        engine = Engine()
+        seen = []
+
+        def body():
+            seen.append(engine.now)
+            yield 0.0
+
+        engine.spawn(body(), name="p", delay=2.0)
+        engine.run()
+        assert seen == [2.0]
+
+    def test_deadlock_detection(self):
+        engine = Engine()
+
+        def blocked():
+            yield SimEvent("never")
+
+        engine.spawn(blocked(), name="blocked")
+        with pytest.raises(DeadlockError, match="blocked"):
+            engine.run()
+
+    def test_deadlock_check_disabled(self):
+        engine = Engine()
+
+        def blocked():
+            yield SimEvent("never")
+
+        engine.spawn(blocked(), name="blocked")
+        engine.run(check_deadlock=False)  # no exception
+
+    def test_timeout_event_helper(self):
+        engine = Engine()
+        event = engine.timeout_event(1.5, value="done")
+        engine.run(check_deadlock=False)
+        assert event.value == "done"
+
+    def test_alive_processes(self):
+        engine = Engine()
+
+        def body():
+            yield 1.0
+
+        process = engine.spawn(body(), name="p")
+        assert not process.alive  # not yet started
+        engine.step()  # start
+        assert process.alive
+        engine.run()
+        assert not process.alive

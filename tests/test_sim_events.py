@@ -1,0 +1,125 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, SimEvent, Timeout
+
+
+class TestSimEvent:
+    def test_starts_pending(self):
+        event = SimEvent("e")
+        assert not event.triggered
+
+    def test_succeed_carries_value(self):
+        event = SimEvent("e")
+        event.succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_succeed_twice_raises(self):
+        event = SimEvent("e").succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_then_value_reraises(self):
+        event = SimEvent("e")
+        error = RuntimeError("boom")
+        event.fail(error)
+        assert event.triggered
+        assert not event.ok
+        assert event.exception is error
+        with pytest.raises(RuntimeError):
+            _ = event.value
+
+    def test_value_before_trigger_raises(self):
+        with pytest.raises(SimulationError):
+            _ = SimEvent("e").value
+
+    def test_callback_after_trigger_fires_immediately(self):
+        event = SimEvent("e").succeed("x")
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["x"]
+
+    def test_callbacks_fire_in_registration_order(self):
+        event = SimEvent("e")
+        seen = []
+        event.add_callback(lambda e: seen.append(1))
+        event.add_callback(lambda e: seen.append(2))
+        event.succeed()
+        assert seen == [1, 2]
+
+
+class TestTimeout:
+    def test_duration(self):
+        assert Timeout(1.5).duration == 1.5
+
+    def test_negative_raises(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1)
+
+    def test_zero_allowed(self):
+        assert Timeout(0).duration == 0.0
+
+    def test_value_payload(self):
+        assert Timeout(1, value="v").value == "v"
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        a, b = SimEvent("a"), SimEvent("b")
+        combo = AllOf([a, b])
+        a.succeed(1)
+        assert not combo.triggered
+        b.succeed(2)
+        assert combo.triggered
+        assert combo.value == [1, 2]
+
+    def test_value_order_is_input_order(self):
+        a, b = SimEvent("a"), SimEvent("b")
+        combo = AllOf([a, b])
+        b.succeed("second")
+        a.succeed("first")
+        assert combo.value == ["first", "second"]
+
+    def test_empty_succeeds_immediately(self):
+        assert AllOf([]).triggered
+
+    def test_child_failure_propagates(self):
+        a, b = SimEvent("a"), SimEvent("b")
+        combo = AllOf([a, b])
+        a.fail(ValueError("bad"))
+        assert combo.triggered
+        assert isinstance(combo.exception, ValueError)
+
+    def test_pretriggered_children(self):
+        a = SimEvent("a").succeed(1)
+        b = SimEvent("b").succeed(2)
+        assert AllOf([a, b]).value == [1, 2]
+
+
+class TestAnyOf:
+    def test_first_wins(self):
+        a, b = SimEvent("a"), SimEvent("b")
+        combo = AnyOf([a, b])
+        b.succeed("bv")
+        assert combo.value == (1, "bv")
+
+    def test_later_triggers_ignored(self):
+        a, b = SimEvent("a"), SimEvent("b")
+        combo = AnyOf([a, b])
+        a.succeed("av")
+        b.succeed("bv")
+        assert combo.value == (0, "av")
+
+    def test_empty_raises(self):
+        with pytest.raises(SimulationError):
+            AnyOf([])
+
+    def test_failure_propagates(self):
+        a, b = SimEvent("a"), SimEvent("b")
+        combo = AnyOf([a, b])
+        b.fail(KeyError("k"))
+        assert isinstance(combo.exception, KeyError)

@@ -1,0 +1,54 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class TestTraceRecord:
+    def test_duration(self):
+        record = TraceRecord("writer", 0, "write", 1.0, 3.5)
+        assert record.duration == 2.5
+
+    def test_detail_payload(self):
+        record = TraceRecord("writer", 0, "write", 0.0, 1.0, detail={"bytes": 42})
+        assert record.detail["bytes"] == 42
+
+
+class TestTracer:
+    def make_tracer(self):
+        tracer = Tracer()
+        tracer.record("writer", 0, "compute", 0.0, 1.0, iteration=0)
+        tracer.record("writer", 0, "write", 1.0, 1.5, iteration=0, bytes=100)
+        tracer.record("writer", 1, "write", 1.0, 2.0, iteration=0)
+        tracer.record("reader", 0, "read", 1.5, 2.5, iteration=0)
+        return tracer
+
+    def test_by_component(self):
+        tracer = self.make_tracer()
+        assert len(tracer.by_component("writer")) == 3
+        assert len(tracer.by_component("reader")) == 1
+
+    def test_by_phase(self):
+        assert len(self.make_tracer().by_phase("write")) == 2
+
+    def test_total_time(self):
+        tracer = self.make_tracer()
+        assert tracer.total_time("writer") == 2.5
+        assert tracer.total_time("writer", "write") == 1.5
+
+    def test_span(self):
+        tracer = self.make_tracer()
+        assert tracer.span("writer") == (0.0, 2.0)
+        assert tracer.span() == (0.0, 2.5)
+
+    def test_span_empty(self):
+        assert Tracer().span("writer") == (0.0, 0.0)
+
+    def test_iter_intervals_sorted(self):
+        tracer = self.make_tracer()
+        intervals = list(tracer.iter_intervals("writer", 0))
+        assert [r.phase for r in intervals] == ["compute", "write"]
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.record("writer", 0, "write", 0.0, 1.0)
+        assert tracer.records == []

@@ -1,0 +1,129 @@
+"""Unit tests for the versioned streaming channel and snapshot specs."""
+
+import pytest
+
+from repro.errors import ConfigurationError, StorageError
+from repro.platform.builder import paper_testbed
+from repro.sim.engine import Engine
+from repro.storage import NVStream
+from repro.storage.channel import StreamChannel
+from repro.storage.objects import SnapshotSpec
+from repro.units import GiB, KiB, MiB
+
+
+class TestSnapshotSpec:
+    def test_snapshot_bytes(self):
+        spec = SnapshotSpec(object_bytes=64 * MiB, objects_per_snapshot=16)
+        assert spec.snapshot_bytes == 1 * GiB
+
+    def test_total_bytes(self):
+        spec = SnapshotSpec(object_bytes=64 * MiB, objects_per_snapshot=16)
+        # The paper's 80 GB at 8 ranks x 10 iterations.
+        assert spec.total_bytes(8, 10) == 80 * GiB
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotSpec(object_bytes=0, objects_per_snapshot=1)
+        with pytest.raises(ConfigurationError):
+            SnapshotSpec(object_bytes=1, objects_per_snapshot=0)
+
+    def test_invalid_totals_rejected(self):
+        spec = SnapshotSpec(object_bytes=1, objects_per_snapshot=1)
+        with pytest.raises(ConfigurationError):
+            spec.total_bytes(0, 10)
+
+    def test_describe(self):
+        spec = SnapshotSpec(object_bytes=2 * KiB, objects_per_snapshot=4)
+        assert "2.0 KiB" in spec.describe()
+
+
+def make_channel(n_streams=2, retained=2):
+    engine = Engine()
+    node = paper_testbed()
+    channel = StreamChannel(
+        engine=engine,
+        node=node,
+        pmem_socket=0,
+        stack=NVStream(),
+        n_streams=n_streams,
+        snapshot=SnapshotSpec(object_bytes=1 * MiB, objects_per_snapshot=4),
+        retained_versions=retained,
+    )
+    return engine, node, channel
+
+
+class TestStreamChannel:
+    def test_reserves_pmem_space(self):
+        _, node, channel = make_channel(n_streams=3, retained=2)
+        assert channel.reserved_bytes == 3 * 2 * 4 * MiB
+        assert node.socket(0).pmem.allocated_bytes == channel.reserved_bytes
+
+    def test_close_releases_space(self):
+        _, node, channel = make_channel()
+        channel.close()
+        assert node.socket(0).pmem.allocated_bytes == 0
+        channel.close()  # idempotent
+
+    def test_publish_then_wait_is_immediate(self):
+        _, _, channel = make_channel()
+        channel.publish(0, 0, nbytes=10)
+        assert channel.wait_version(0, 0).triggered
+
+    def test_wait_then_publish_wakes(self):
+        _, _, channel = make_channel()
+        event = channel.wait_version(0, 0)
+        assert not event.triggered
+        channel.publish(0, 0)
+        assert event.triggered
+        assert event.value == 0
+
+    def test_out_of_order_publish_rejected(self):
+        _, _, channel = make_channel()
+        with pytest.raises(StorageError, match="out of order"):
+            channel.publish(0, 1)
+
+    def test_republish_rejected(self):
+        _, _, channel = make_channel()
+        channel.publish(0, 0)
+        with pytest.raises(StorageError):
+            channel.publish(0, 0)
+
+    def test_streams_independent(self):
+        _, _, channel = make_channel()
+        channel.publish(0, 0)
+        assert channel.published_version(0) == 0
+        assert channel.published_version(1) == -1
+
+    def test_unknown_stream_rejected(self):
+        _, _, channel = make_channel(n_streams=2)
+        with pytest.raises(StorageError, match="out of range"):
+            channel.publish(5, 0)
+
+    def test_negative_version_rejected(self):
+        _, _, channel = make_channel()
+        with pytest.raises(StorageError):
+            channel.wait_version(0, -1)
+
+    def test_bytes_accounting(self):
+        _, _, channel = make_channel()
+        channel.publish(0, 0, nbytes=100)
+        channel.publish(1, 0, nbytes=50)
+        assert channel.total_bytes_published() == 150
+
+    def test_waiting_ahead_multiple_versions(self):
+        _, _, channel = make_channel()
+        v2 = channel.wait_version(0, 2)
+        channel.publish(0, 0)
+        channel.publish(0, 1)
+        assert not v2.triggered
+        channel.publish(0, 2)
+        assert v2.triggered
+
+    def test_invalid_construction(self):
+        engine = Engine()
+        node = paper_testbed()
+        snapshot = SnapshotSpec(object_bytes=1 * MiB, objects_per_snapshot=1)
+        with pytest.raises(StorageError):
+            StreamChannel(engine, node, 0, NVStream(), 0, snapshot)
+        with pytest.raises(StorageError):
+            StreamChannel(engine, node, 0, NVStream(), 1, snapshot, retained_versions=0)

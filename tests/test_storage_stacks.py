@@ -1,0 +1,140 @@
+"""Unit tests for the NOVAfs / NVStream cost models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.pmem.calibration import DEFAULT_CALIBRATION
+from repro.storage import NVStream, NovaFS, stack_by_name
+from repro.storage.base import OpProfile
+from repro.units import KiB, MiB
+
+CAL = DEFAULT_CALIBRATION
+op_sizes = st.floats(min_value=64, max_value=256 * MiB)
+
+
+class TestStackRegistry:
+    def test_by_name(self):
+        assert stack_by_name("nvstream").name == "nvstream"
+        assert stack_by_name("novafs").name == "novafs"
+        assert stack_by_name("NOVA").name == "novafs"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown storage stack"):
+            stack_by_name("ext4")
+
+
+class TestOpProfile:
+    def test_negative_software_rejected(self):
+        with pytest.raises(StorageError):
+            OpProfile(software_seconds=-1.0)
+
+    def test_amplification_below_one_rejected(self):
+        with pytest.raises(StorageError):
+            OpProfile(software_seconds=0.0, amplification=0.9)
+
+
+class TestNVStream:
+    def test_write_costs_more_software_than_read(self):
+        stack = NVStream()
+        write = stack.op_profile("write", 2 * KiB, remote=False)
+        read = stack.op_profile("read", 2 * KiB, remote=False)
+        assert write.software_seconds > read.software_seconds
+
+    def test_remote_reads_expensive_remote_writes_posted(self):
+        """§VI-B: remote reads wait for data; writes are fire-and-forget."""
+        stack = NVStream()
+        read_ratio = (
+            stack.op_profile("read", 2 * KiB, True).software_seconds
+            / stack.op_profile("read", 2 * KiB, False).software_seconds
+        )
+        write_ratio = (
+            stack.op_profile("write", 2 * KiB, True).software_seconds
+            / stack.op_profile("write", 2 * KiB, False).software_seconds
+        )
+        assert read_ratio > 1.5
+        assert write_ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_write_amplification_shrinks_with_object_size(self):
+        stack = NVStream()
+        small = stack.amplification("write", 2 * KiB, False)
+        large = stack.amplification("write", 64 * MiB, False)
+        assert small > large
+        assert large == pytest.approx(1.0, abs=1e-4)
+
+    def test_coalescing_to_stripe(self):
+        """Small sequential log appends present stripe-sized device accesses."""
+        stack = NVStream()
+        assert stack.device_access_bytes("write", 2 * KiB) == 24 * 1024
+        assert stack.device_access_bytes("write", 64 * MiB) == 64 * MiB
+
+    def test_self_cap_scales_with_object_size(self):
+        stack = NVStream()
+        small = stack.self_cap(CAL, "write", 2 * KiB, False)
+        large = stack.self_cap(CAL, "write", 64 * MiB, False)
+        assert large > small * 100
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(StorageError):
+            NVStream().op_profile("append", 2 * KiB, False)
+
+    def test_non_positive_op_bytes_rejected(self):
+        with pytest.raises(StorageError):
+            NVStream().self_cap(CAL, "write", 0, False)
+
+
+class TestNovaFS:
+    def test_costs_more_than_nvstream(self):
+        """§V: filesystems pay syscall + journaling costs per operation."""
+        nova, nvs = NovaFS(), NVStream()
+        for kind in ("read", "write"):
+            assert (
+                nova.op_profile(kind, 2 * KiB, False).software_seconds
+                > nvs.op_profile(kind, 2 * KiB, False).software_seconds
+            )
+
+    def test_no_coalescing(self):
+        """Block-granular filesystem: the device sees object granularity."""
+        assert NovaFS().device_access_bytes("write", 2 * KiB) == 2 * KiB
+
+    def test_higher_metadata_amplification(self):
+        assert NovaFS().amplification("write", 2 * KiB, False) > NVStream().amplification(
+            "write", 2 * KiB, False
+        )
+
+    def test_remote_multipliers(self):
+        stack = NovaFS()
+        assert stack.op_profile("read", 2 * KiB, True).software_seconds > (
+            stack.op_profile("read", 2 * KiB, False).software_seconds
+        )
+
+    def test_snapshot_overhead_positive(self):
+        assert NovaFS().snapshot_overhead("write", 1000) > 0
+
+
+class TestSelfCapProperties:
+    @given(op=op_sizes, kind=st.sampled_from(["read", "write"]), remote=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_property_self_cap_positive_finite(self, op, kind, remote):
+        for stack in (NVStream(), NovaFS()):
+            cap = stack.self_cap(CAL, kind, op, remote)
+            assert cap > 0
+            assert math.isfinite(cap)
+
+    @given(op=op_sizes, kind=st.sampled_from(["read", "write"]))
+    @settings(max_examples=60, deadline=None)
+    def test_property_remote_never_faster(self, op, kind):
+        for stack in (NVStream(), NovaFS()):
+            local = stack.self_cap(CAL, kind, op, remote=False)
+            remote = stack.self_cap(CAL, kind, op, remote=True)
+            assert remote <= local * (1 + 1e-9)
+
+    @given(op=op_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_property_amplification_at_least_one(self, op):
+        for stack in (NVStream(), NovaFS()):
+            for kind in ("read", "write"):
+                assert stack.amplification(kind, op, False) >= 1.0

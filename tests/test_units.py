@@ -1,0 +1,100 @@
+"""Unit tests for repro.units."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    GiB,
+    KiB,
+    MiB,
+    fmt_bytes,
+    fmt_rate,
+    fmt_time,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_binary_ladder(self):
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_decimal_vs_binary(self):
+        assert GB == 10**9
+        assert GiB == 2**30
+        assert GiB > GB
+
+
+class TestFmtBytes:
+    def test_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert fmt_bytes(2048) == "2.0 KiB"
+
+    def test_mib(self):
+        assert fmt_bytes(64 * MiB) == "64.0 MiB"
+
+    def test_gib(self):
+        assert fmt_bytes(1 * GiB) == "1.0 GiB"
+
+    def test_negative(self):
+        assert fmt_bytes(-2048) == "-2.0 KiB"
+
+    def test_zero(self):
+        assert fmt_bytes(0) == "0 B"
+
+
+class TestFmtRate:
+    def test_gbps(self):
+        assert fmt_rate(13.9 * GB) == "13.90 GB/s"
+
+    def test_sub_gb(self):
+        assert fmt_rate(0.5 * GB) == "0.50 GB/s"
+
+
+class TestFmtTime:
+    def test_seconds(self):
+        assert fmt_time(2.5) == "2.5 s"
+
+    def test_millis(self):
+        assert fmt_time(0.25) == "250.0 ms"
+
+    def test_micros(self):
+        assert fmt_time(3.8e-6) == "3.8 us"
+
+    def test_nanos(self):
+        assert fmt_time(90e-9) == "90.0 ns"
+
+    def test_zero(self):
+        assert fmt_time(0) == "0 s"
+
+    def test_negative(self):
+        assert fmt_time(-0.25) == "-250.0 ms"
+
+    def test_sub_nano(self):
+        assert fmt_time(0.5e-9).endswith("ns")
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64MB", 64 * MiB),
+            ("2 KB", 2 * KiB),
+            ("2KiB", 2 * KiB),
+            ("1GB", GiB),
+            ("4096", 4096),
+            ("0.5 MB", 512 * KiB),
+            ("229mb", 229 * MiB),
+            ("1tb", 1024 * GiB),
+            ("16B", 16),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("not-a-size")

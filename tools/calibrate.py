@@ -1,0 +1,23 @@
+"""Calibration harness: suite winners vs paper expectations."""
+import sys
+from repro.apps.suite import workflow_suite
+from repro.core.configs import ALL_CONFIGS
+from repro.core.autotune import ExhaustiveTuner
+from repro.core.features import extract_features
+
+tuner = ExhaustiveTuner()
+hits = 0
+entries = workflow_suite()
+for e in entries:
+    rep = tuner.tune(e.spec)
+    f = extract_features(e.spec)
+    win = rep.comparison.best_label
+    ok = "OK " if win == e.paper_best else "XX "
+    hits += win == e.paper_best
+    ms = rep.comparison.makespans()
+    row = "  ".join(f"{c.label}={ms[c.label]:7.2f}" for c in ALL_CONFIGS)
+    print(f"{ok}{e.figure:7s} {e.spec.name:22s} paper={e.paper_best:6s} sim={win:6s} | {row} | "
+          f"wSim_idx={f.sim_io_index:.2f} aIdx={f.analytics_io_index:.2f} "
+          f"dutyW={f.sim_profile.duty:.2f} dutyR={f.analytics_profile.duty:.2f} "
+          f"Wutil={f.write_utilization:.2f} effC={f.effective_io_concurrency:.1f}")
+print(f"\n{hits}/{len(entries)} match paper")

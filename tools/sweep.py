@@ -1,0 +1,46 @@
+"""Focused sweep on contested panels."""
+import itertools, sys
+import repro.apps.analytics as an
+from repro.apps.suite import workflow_suite, suite_entry
+from repro.core.autotune import ExhaustiveTuner
+from repro.pmem.calibration import OptaneCalibration
+
+PANELS = [("micro-2k",8),("micro-2k",16),("gtc+readonly",8),("gtc+readonly",16),
+          ("gtc+matmult",16),("gtc+matmult",24),
+          ("miniamr+readonly",8),("miniamr+readonly",16),("miniamr+readonly",24),
+          ("miniamr+matmult",8),("miniamr+matmult",16),("miniamr+matmult",24)]
+
+import repro.workflow.kernels as K
+from repro.apps.miniamr import miniamr_workflow, MINIAMR_OBJECTS_PER_RANK
+from repro.apps.analytics import read_only_kernel, gtc_matrixmult_kernel
+from repro.apps.gtc import gtc_workflow
+from repro.apps.microbench import micro_workflow, SMALL_OBJECT_BYTES
+
+def build(family, ranks, mm_dim):
+    if family == "micro-2k":
+        return micro_workflow(SMALL_OBJECT_BYTES, ranks)
+    if family == "gtc+readonly":
+        return gtc_workflow(read_only_kernel(), ranks=ranks)
+    if family == "gtc+matmult":
+        return gtc_workflow(gtc_matrixmult_kernel(), ranks=ranks)
+    if family == "miniamr+readonly":
+        return miniamr_workflow(read_only_kernel(), ranks=ranks)
+    if family == "miniamr+matmult":
+        k = K.PerObjectKernel(objects=MINIAMR_OBJECTS_PER_RANK,
+                              seconds_per_object=5*2.0*mm_dim**3/4.0e9)
+        return miniamr_workflow(k, ranks=ranks)
+
+from repro.apps.suite import PAPER_EXPECTATIONS
+
+for gw, pw, dim in itertools.product((1.2, 1.6, 2.0), (0.2, 0.3), (13, 16)):
+    cal = OptaneCalibration().replace(mix_gamma_write=gw, poll_interference_weight=pw)
+    tuner = ExhaustiveTuner(cal=cal)
+    hits = 0; misses = []
+    for fam, ranks in PANELS:
+        spec = build(fam, ranks, dim)
+        rep = tuner.tune(spec)
+        win = rep.comparison.best_label
+        want = PAPER_EXPECTATIONS[(fam, ranks)][0]
+        if win == want: hits += 1
+        else: misses.append(f"{fam}@{ranks}:{win}!={want}")
+    print(f"gw={gw} pw={pw} dim={dim}: {hits}/{len(PANELS)}  misses: {', '.join(misses)}")

@@ -1,0 +1,36 @@
+import itertools
+import repro.workflow.kernels as K
+from repro.apps.miniamr import miniamr_workflow, MINIAMR_OBJECTS_PER_RANK
+from repro.apps.analytics import read_only_kernel, gtc_matrixmult_kernel
+from repro.apps.gtc import gtc_workflow
+from repro.apps.microbench import micro_workflow, SMALL_OBJECT_BYTES, LARGE_OBJECT_BYTES
+from repro.apps.suite import PAPER_EXPECTATIONS
+from repro.core.autotune import ExhaustiveTuner
+from repro.pmem.calibration import OptaneCalibration
+
+PANELS = [("micro-64mb",8),("micro-2k",8),("micro-2k",16),("micro-2k",24),
+          ("gtc+readonly",8),("gtc+readonly",16),("gtc+matmult",16),("gtc+matmult",24),
+          ("miniamr+readonly",8),("miniamr+readonly",16),("miniamr+readonly",24),
+          ("miniamr+matmult",8),("miniamr+matmult",16),("miniamr+matmult",24)]
+
+def build(family, ranks, dim):
+    if family == "micro-64mb": return micro_workflow(LARGE_OBJECT_BYTES, ranks)
+    if family == "micro-2k": return micro_workflow(SMALL_OBJECT_BYTES, ranks)
+    if family == "gtc+readonly": return gtc_workflow(read_only_kernel(), ranks=ranks)
+    if family == "gtc+matmult": return gtc_workflow(gtc_matrixmult_kernel(), ranks=ranks)
+    if family == "miniamr+readonly": return miniamr_workflow(read_only_kernel(), ranks=ranks)
+    k = K.PerObjectKernel(objects=MINIAMR_OBJECTS_PER_RANK, seconds_per_object=5*2.0*dim**3/4.0e9)
+    return miniamr_workflow(k, ranks=ranks)
+
+best = None
+for rb, wexp, dim in itertools.product((0.6, 0.9, 1.2), (2.0, 3.0), (10, 12, 14)):
+    cal = OptaneCalibration().replace(mix_remote_read_boost=rb, mix_write_sat_exponent=wexp)
+    tuner = ExhaustiveTuner(cal=cal)
+    hits = 0; misses = []
+    for fam, ranks in PANELS:
+        rep = tuner.tune(build(fam, ranks, dim))
+        win = rep.comparison.best_label
+        want = PAPER_EXPECTATIONS[(fam, ranks)][0]
+        if win == want: hits += 1
+        else: misses.append(f"{fam}@{ranks}:{win}")
+    print(f"rb={rb} wexp={wexp} dim={dim}: {hits}/{len(PANELS)}  miss: {', '.join(misses)}", flush=True)
