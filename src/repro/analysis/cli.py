@@ -1,0 +1,126 @@
+"""``python -m repro.analysis`` — run the static-analysis passes.
+
+Examples::
+
+    python -m repro.analysis src/                 # lint the tree
+    python -m repro.analysis src/ --format json   # machine-readable
+    python -m repro.analysis src/ --select SIM101,SIM105
+    python -m repro.analysis src/ --ignore SIM106
+    python -m repro.analysis --list-rules
+    python -m repro.analysis --platform-only      # just the platform tables
+
+Alongside the source lint, the CLI always validates the default platform
+and calibration tables (``PLAT3xx``) — they are part of the repository's
+correctness floor, and checking them takes microseconds.
+
+Exit status: 0 when no error-severity diagnostics were found, 1 otherwise,
+2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.diagnostics import (
+    DiagnosticSink,
+    Severity,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import all_rules, resolve_codes
+from repro.analysis.simlint import lint_paths
+from repro.analysis.validate import validate_calibration, validate_node
+
+
+def _split_codes(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part for part in value.replace(",", " ").split() if part]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-analysis",
+        description="Determinism lint + platform validation for the simulator.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ if present)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="only report these rule codes or prefixes (comma-separated)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="suppress these rule codes or prefixes (comma-separated)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule code with its summary and exit",
+    )
+    parser.add_argument(
+        "--platform-only",
+        action="store_true",
+        help="skip the source lint; only validate platform/calibration tables",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  [{rule.severity.value}]  {rule.name}: {rule.summary}")
+        return 0
+
+    try:
+        select = resolve_codes(_split_codes(args.select))
+        ignore = resolve_codes(_split_codes(args.ignore)) or frozenset()
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    sink = DiagnosticSink(select=select, ignore=ignore)
+
+    # Platform/calibration tables: always part of the correctness floor.
+    from repro.platform.builder import paper_testbed
+    from repro.pmem.calibration import DEFAULT_CALIBRATION
+
+    for diagnostic in validate_calibration(DEFAULT_CALIBRATION) + validate_node(
+        paper_testbed(), DEFAULT_CALIBRATION
+    ):
+        sink.emit(diagnostic)
+
+    if not args.platform_only:
+        paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
+        for path in paths:
+            if not os.path.exists(path):
+                parser.error(f"no such file or directory: {path}")
+        lint_paths(paths, sink=sink)
+
+    diagnostics = sink.sorted()
+    if args.format == "json":
+        print(render_json(diagnostics))
+    elif diagnostics:
+        print(render_text(diagnostics))
+    else:
+        print("0 error(s), 0 warning(s)")
+    return 1 if any(d.severity is Severity.ERROR for d in diagnostics) else 0
+
+
+def entry() -> None:  # pragma: no cover - console_scripts wrapper
+    sys.exit(main())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

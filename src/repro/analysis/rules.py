@@ -1,0 +1,196 @@
+"""Rule registry: every diagnostic code the analysis passes can emit.
+
+Codes are grouped by family:
+
+* ``SIM1xx`` — simulator-determinism lint rules (AST pass over source).
+* ``SPEC2xx`` — workflow-spec structural validation (pre-run pass).
+* ``PLAT3xx`` — platform/calibration table validation (pre-run pass).
+
+The registry is the single source of truth for ``--select`` / ``--ignore``
+filtering, the ``--list-rules`` CLI output, and the rule-code section of the
+README.  Registering two rules under one code is a programming error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one diagnostic code."""
+
+    code: str
+    name: str
+    summary: str
+    severity: Severity = Severity.ERROR
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(
+    code: str, name: str, summary: str, severity: Severity = Severity.ERROR
+) -> Rule:
+    """Register a rule; returns the :class:`Rule` for the checker to keep."""
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code!r}")
+    rule = Rule(code=code, name=name, summary=summary, severity=severity)
+    _REGISTRY[code] = rule
+    return rule
+
+
+def get_rule(code: str) -> Rule:
+    """Look up a registered rule by code (raises ``KeyError`` if unknown)."""
+    return _REGISTRY[code]
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def resolve_codes(spec: Optional[Iterable[str]]) -> Optional[FrozenSet[str]]:
+    """Expand a ``--select``/``--ignore`` list into a set of full codes.
+
+    Accepts full codes ("SIM101") and family prefixes ("SIM", "SPEC2");
+    unknown entries raise ``ValueError`` so typos fail loudly.
+    """
+    if spec is None:
+        return None
+    resolved = set()
+    for entry in spec:
+        entry = entry.strip().upper()
+        if not entry:
+            continue
+        matches = [code for code in _REGISTRY if code.startswith(entry)]
+        if not matches:
+            raise ValueError(
+                f"unknown rule or prefix {entry!r}; known codes: "
+                f"{', '.join(sorted(_REGISTRY))}"
+            )
+        resolved.update(matches)
+    return frozenset(resolved)
+
+
+# ---------------------------------------------------------------------------
+# SIM1xx — determinism lint (repro.analysis.simlint).
+# ---------------------------------------------------------------------------
+SIM100 = register(
+    "SIM100",
+    "syntax-error",
+    "file does not parse; nothing else can be checked",
+)
+SIM101 = register(
+    "SIM101",
+    "wall-clock-source",
+    "wall-clock call (time.time / time.monotonic / datetime.now / ...) in "
+    "simulator code; virtual time must come from Engine.now",
+)
+SIM102 = register(
+    "SIM102",
+    "unseeded-random",
+    "module-level random (random.random / numpy.random.*) or unseeded RNG "
+    "constructor in simulator code; seed an explicit Random(seed) instead",
+)
+SIM103 = register(
+    "SIM103",
+    "float-time-equality",
+    "== / != on float virtual timestamps; exact comparison breaks once "
+    "flow completions introduce rounding",
+)
+SIM104 = register(
+    "SIM104",
+    "mutable-default-argument",
+    "mutable default argument; the shared instance leaks state across "
+    "calls and across simulated runs",
+)
+SIM105 = register(
+    "SIM105",
+    "blocking-io-in-sim",
+    "blocking I/O (open / time.sleep / sockets / subprocess) inside "
+    "sim-process code; simulated processes must only yield events",
+)
+SIM106 = register(
+    "SIM106",
+    "magic-size-literal",
+    "raw byte/bandwidth magnitude literal; use the repro.units constants "
+    "(KiB/MiB/GiB, KB/MB/GB, GIGA)",
+)
+
+# ---------------------------------------------------------------------------
+# SPEC2xx — workflow-spec validation (repro.analysis.validate).
+# ---------------------------------------------------------------------------
+SPEC201 = register(
+    "SPEC201",
+    "cyclic-coupling",
+    "workflow coupling graph has a cycle; writer/reader couplings must "
+    "form a DAG or no snapshot version can ever be published first",
+)
+SPEC202 = register(
+    "SPEC202",
+    "dangling-channel-endpoint",
+    "coupling references a component role the workflow does not define",
+)
+SPEC203 = register(
+    "SPEC203",
+    "bad-socket-reference",
+    "placement references a socket the platform does not have",
+)
+SPEC204 = register(
+    "SPEC204",
+    "ranks-exceed-cores",
+    "component rank count exceeds the free cores of its socket",
+)
+SPEC205 = register(
+    "SPEC205",
+    "unknown-storage-stack",
+    "workflow names a storage stack the library does not model",
+)
+SPEC206 = register(
+    "SPEC206",
+    "components-share-socket",
+    "writer and reader are placed on the same socket (the paper's "
+    "workflows dedicate one socket per component, §II-A)",
+)
+SPEC207 = register(
+    "SPEC207",
+    "channel-exceeds-pmem",
+    "retained snapshot versions exceed the channel socket's PMEM capacity "
+    "(serial mode retains every version)",
+)
+
+# ---------------------------------------------------------------------------
+# PLAT3xx — platform/calibration validation (repro.analysis.validate).
+# ---------------------------------------------------------------------------
+PLAT301 = register(
+    "PLAT301",
+    "bandwidth-curve-invalid",
+    "bandwidth curve is negative or non-monotone over the calibrated "
+    "thread range",
+)
+PLAT302 = register(
+    "PLAT302",
+    "non-positive-latency",
+    "device latency constant is not strictly positive",
+)
+PLAT303 = register(
+    "PLAT303",
+    "interleave-geometry-mismatch",
+    "device interleave geometry (stripe/DIMM count) disagrees with the "
+    "calibration constants",
+)
+PLAT304 = register(
+    "PLAT304",
+    "calibration-inconsistent",
+    "calibration constants fail their own consistency checks",
+)
+
+
+#: Every (code, summary) pair, for docs and the CLI.
+RULE_TABLE: Tuple[Tuple[str, str], ...] = tuple(
+    (rule.code, rule.summary) for rule in all_rules()
+)

@@ -20,6 +20,7 @@ them (compute-dominant for both MatrixMult variants).
 
 from __future__ import annotations
 
+from repro.units import GIGA
 from repro.workflow.kernels import (
     ComputeKernel,
     MatrixMultKernel,
@@ -36,7 +37,7 @@ GTC_MATMUL_COUNT = 10_000_000
 MINIAMR_MATMULS_PER_OBJECT = 5
 #: The kernel multiplies 12 x 12 tiles of each 4.5 KB object; one multiply
 #: is 2 * 12**3 flops, i.e. ~0.9 us at the default core rate.
-MINIAMR_SECONDS_PER_MATMUL = 2.0 * 12**3 / 4.0e9
+MINIAMR_SECONDS_PER_MATMUL = 2.0 * 12**3 / (4.0 * GIGA)
 
 
 def read_only_kernel() -> ComputeKernel:

@@ -23,6 +23,29 @@ class ConfigurationError(ReproError):
     """Raised for invalid platform, workload, or scheduler configurations."""
 
 
+class ValidationError(ConfigurationError):
+    """Raised when pre-run validation rejects a spec, platform, or placement.
+
+    Carries the structured findings of :mod:`repro.analysis.validate` in
+    ``diagnostics`` (a tuple of :class:`repro.analysis.diagnostics.Diagnostic`)
+    so callers can inspect rule codes programmatically instead of parsing
+    the message.
+    """
+
+    def __init__(self, diagnostics=(), message=""):
+        self.diagnostics = tuple(diagnostics)
+        if not message:
+            rendered = "; ".join(d.render() for d in self.diagnostics)
+            count = len(self.diagnostics)
+            message = f"validation failed with {count} diagnostic(s): {rendered}"
+        super().__init__(message)
+
+    @property
+    def codes(self):
+        """The rule codes of the carried diagnostics, in report order."""
+        return tuple(d.code for d in self.diagnostics)
+
+
 class PlacementError(ConfigurationError):
     """Raised when a component cannot be placed (e.g. not enough cores)."""
 

@@ -15,6 +15,7 @@ from repro.apps.suite import SuiteEntry, suite_entry
 from repro.core.autotune import ExhaustiveTuner, TuningReport
 from repro.metrics.report import ascii_bar_chart
 from repro.pmem.calibration import DEFAULT_CALIBRATION, OptaneCalibration
+from repro.units import GiB
 
 
 @dataclass(frozen=True)
@@ -108,7 +109,7 @@ def panel_chart(entry: SuiteEntry, report: TuningReport) -> str:
             splits[label] = result.split_bar()
     title = (
         f"{entry.figure} — {entry.spec.name} "
-        f"(total data {entry.spec.total_data_bytes() / 2**30:.0f} GiB); "
+        f"(total data {entry.spec.total_data_bytes() / GiB:.0f} GiB); "
         f"paper best: {entry.paper_best}"
     )
     return ascii_bar_chart(makespans, title=title, splits=splits)

@@ -108,7 +108,7 @@ class OptaneCalibration:
     #: Device access size (bytes) below which the small-access collapse
     #: fully applies; the streaming knee fully applies above one interleave
     #: stripe, log-linear blend between. [fit]
-    remote_small_access_bytes: float = 4096.0
+    remote_small_access_bytes: float = 4.0 * KiB
     #: Remote reads degrade with concurrency: ``1 / (1 + slope * n)``.
     #: The paper quotes a 1.3x slowdown at 24 concurrent reads; we fit a
     #: somewhat steeper slope (1.5x at 24) because the workflow-level

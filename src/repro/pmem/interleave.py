@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
 from repro.errors import ConfigurationError
+from repro.units import KiB
 
 
 @dataclass(frozen=True)
@@ -30,7 +31,7 @@ class InterleaveSet:
         Number of interleaved modules (6 per socket on the paper's testbed).
     """
 
-    chunk_bytes: int = 4096
+    chunk_bytes: int = 4 * KiB
     ndimms: int = 6
 
     def __post_init__(self) -> None:

@@ -16,6 +16,17 @@ from repro.errors import DeadlockError, SimulationError
 from repro.sim.events import SimEvent
 from repro.sim.process import Process
 
+#: Tolerance for comparing float virtual timestamps.  Flow completions are
+#: computed by dividing remaining bytes by fluid rates, so two events that
+#: are simultaneous *in the model* can differ by rounding in the last few
+#: ulps; exact ``==`` on virtual times is therefore a bug (simlint SIM103).
+TIME_EPSILON: float = 1e-9
+
+
+def times_close(a: float, b: float, epsilon: float = TIME_EPSILON) -> bool:
+    """Whether two virtual timestamps are equal up to solver rounding."""
+    return abs(a - b) <= epsilon * max(1.0, abs(a), abs(b))
+
 
 class Timer:
     """Handle for a scheduled callback; supports O(1) cancellation."""

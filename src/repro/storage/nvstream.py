@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.storage.base import OpProfile, StorageStack
-from repro.units import MICROSECOND
+from repro.units import KiB, MICROSECOND
 
 
 @dataclass(frozen=True)
@@ -51,7 +51,7 @@ class NVStreamParameters:
     #: Sequential log layout coalesces adjacent small objects: the device
     #: observes accesses of at least this granularity (one interleave
     #: stripe) regardless of logical object size.
-    coalesce_bytes: float = 24 * 1024.0
+    coalesce_bytes: float = 24.0 * KiB
 
 
 class NVStream(StorageStack):

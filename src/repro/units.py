@@ -31,6 +31,12 @@ GB: int = 1000 * MB
 TB: int = 1000 * GB
 
 # --------------------------------------------------------------------------
+# Dimensionless SI magnitudes (FLOP rates and similar non-byte quantities).
+# --------------------------------------------------------------------------
+MEGA: float = 1e6
+GIGA: float = 1e9
+
+# --------------------------------------------------------------------------
 # Times.
 # --------------------------------------------------------------------------
 NANOSECOND: float = 1e-9

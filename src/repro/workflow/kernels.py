@@ -16,6 +16,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.units import GIGA
 
 #: Effective per-core floating-point rate used to convert kernel work to
 #: time (a few GFLOP/s of *achieved* throughput on a Xeon core, memory
@@ -78,7 +79,7 @@ class MatrixMultKernel(ComputeKernel):
 
     def iteration_seconds(self) -> float:
         flops = 2.0 * self.multiplies * float(self.dim) ** 3
-        return flops / (self.gflops * 1e9)
+        return flops / (self.gflops * GIGA)
 
 
 @dataclass(frozen=True)
@@ -118,7 +119,7 @@ class ParticlePushKernel(ComputeKernel):
             raise ConfigurationError("invalid ParticlePushKernel parameters")
 
     def iteration_seconds(self) -> float:
-        return self.particles * self.flops_per_particle / (self.gflops * 1e9)
+        return self.particles * self.flops_per_particle / (self.gflops * GIGA)
 
 
 @dataclass(frozen=True)
@@ -146,4 +147,4 @@ class StencilKernel(ComputeKernel):
             * self.flops_per_cell
             * self.sweeps
         )
-        return flops / (self.gflops * 1e9)
+        return flops / (self.gflops * GIGA)

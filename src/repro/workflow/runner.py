@@ -303,6 +303,9 @@ def run_workflow(
     node_factory: Callable[..., Node] = None,
     trace: bool = False,
     compute_jitter: float = DEFAULT_COMPUTE_JITTER,
+    writer_socket: int = 0,
+    reader_socket: int = 1,
+    validate: bool = True,
 ) -> RunResult:
     """Simulate *spec* under *config* and return the run result.
 
@@ -323,11 +326,30 @@ def run_workflow(
         Collect a full phase timeline in ``result.tracer``.
     compute_jitter:
         Deterministic per-rank compute-time spread (0 disables it).
+    writer_socket / reader_socket:
+        Sockets hosting the two components (defaults match §II-A).
+    validate:
+        Run the :mod:`repro.analysis.validate` structural checks first; a
+        cyclic coupling graph, an out-of-range socket, an oversubscribed
+        core pool, or an inconsistent calibration table raises
+        :class:`repro.errors.ValidationError` with structured diagnostics
+        before any simulated event executes.
     """
     if node_factory is None:
         node = paper_testbed(cal=cal)
     else:
         node = node_factory(cal=cal)
+    if validate:
+        from repro.analysis.validate import validate_run
+
+        validate_run(
+            spec,
+            config,
+            node,
+            cal,
+            writer_socket=writer_socket,
+            reader_socket=reader_socket,
+        )
     stack = stack_by_name(spec.stack_name)
     execution = _WorkflowExecution(
         spec=spec,
@@ -336,6 +358,8 @@ def run_workflow(
         node=node,
         stack=stack,
         trace=trace,
+        writer_socket=writer_socket,
+        reader_socket=reader_socket,
         compute_jitter=compute_jitter,
     )
     return execution.run()

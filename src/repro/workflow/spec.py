@@ -9,7 +9,7 @@ harness all operate on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.storage.objects import SnapshotSpec
@@ -35,6 +35,12 @@ class WorkflowSpec:
         Compute kernels of the two components.
     stack_name:
         Storage stack used for the channel ("nvstream" or "novafs").
+    couplings:
+        Directed producer/consumer edges between component roles.  The
+        default is the paper's single writer->reader channel; richer
+        topologies (fan-out analytics, feedback loops) can be declared and
+        are structurally checked by :mod:`repro.analysis.validate` — the
+        coupling graph must be an acyclic graph over the declared roles.
     """
 
     name: str
@@ -44,6 +50,7 @@ class WorkflowSpec:
     sim_compute: ComputeKernel = field(default_factory=NullKernel)
     analytics_compute: ComputeKernel = field(default_factory=NullKernel)
     stack_name: str = "nvstream"
+    couplings: Tuple[Tuple[str, str], ...] = (("simulation", "analytics"),)
 
     def __post_init__(self) -> None:
         if self.ranks <= 0:
@@ -77,6 +84,11 @@ class WorkflowSpec:
             snapshot=self.snapshot,
             compute=self.analytics_compute,
         )
+
+    @property
+    def roles(self) -> Tuple[str, ...]:
+        """Component roles that exist in this workflow (coupling endpoints)."""
+        return (self.writer.role, self.reader.role)
 
     def total_data_bytes(self) -> int:
         """Data volume streamed through the channel over the full run."""

@@ -1,0 +1,190 @@
+"""Tests for the pre-run spec/platform validator."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.validate import (
+    validate_calibration,
+    validate_node,
+    validate_placement,
+    validate_run,
+    validate_workflow,
+)
+from repro.core.configs import P_LOCR, P_LOCW, S_LOCW
+from repro.errors import ValidationError
+from repro.platform.builder import paper_testbed, single_socket_node
+from repro.pmem.calibration import DEFAULT_CALIBRATION
+from repro.storage.objects import SnapshotSpec
+from repro.units import GiB, KiB
+from repro.workflow.runner import run_workflow
+from repro.workflow.spec import WorkflowSpec
+
+
+def spec(**kw):
+    defaults = dict(
+        name="v@2",
+        ranks=2,
+        iterations=3,
+        snapshot=SnapshotSpec(object_bytes=2 * KiB, objects_per_snapshot=8),
+    )
+    defaults.update(kw)
+    return WorkflowSpec(**defaults)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestWorkflowStructure:
+    def test_default_spec_is_clean(self):
+        assert validate_workflow(spec()) == []
+
+    def test_cyclic_coupling_spec201(self):
+        cyclic = spec(
+            couplings=(("simulation", "analytics"), ("analytics", "simulation"))
+        )
+        found = validate_workflow(cyclic)
+        assert codes(found) == ["SPEC201"]
+        assert "cycle" in found[0].message
+
+    def test_self_loop_spec201(self):
+        looped = spec(couplings=(("simulation", "simulation"),))
+        assert "SPEC201" in codes(validate_workflow(looped))
+
+    def test_dangling_endpoint_spec202(self):
+        dangling = spec(couplings=(("simulation", "visualization"),))
+        found = validate_workflow(dangling)
+        assert codes(found) == ["SPEC202"]
+        assert "visualization" in found[0].message
+
+    def test_unknown_stack_spec205(self):
+        bad = spec(stack_name="tmpfs")
+        assert "SPEC205" in codes(validate_workflow(bad))
+
+
+class TestPlacement:
+    def test_clean_placement(self):
+        assert validate_placement(spec(), P_LOCR, paper_testbed()) == []
+
+    def test_bad_socket_reference_spec203(self):
+        found = validate_placement(spec(), P_LOCR, paper_testbed(), reader_socket=5)
+        assert codes(found) == ["SPEC203"]
+
+    def test_negative_socket_reference_spec203(self):
+        found = validate_placement(spec(), P_LOCR, paper_testbed(), writer_socket=-1)
+        assert "SPEC203" in codes(found)
+
+    def test_shared_socket_spec206(self):
+        found = validate_placement(
+            spec(), P_LOCR, paper_testbed(), writer_socket=0, reader_socket=0
+        )
+        assert codes(found) == ["SPEC206"]
+
+    def test_ranks_exceed_cores_spec204(self):
+        found = validate_placement(spec(ranks=40), S_LOCW, paper_testbed())
+        assert codes(found) == ["SPEC204", "SPEC204"]
+
+    def test_serial_capacity_blowout_spec207(self):
+        big = spec(
+            iterations=100_000,
+            snapshot=SnapshotSpec(object_bytes=GiB, objects_per_snapshot=1),
+        )
+        found = validate_placement(big, S_LOCW, paper_testbed())
+        assert codes(found) == ["SPEC207"]
+
+    def test_parallel_ring_fits_spec207_not_raised(self):
+        # The same workload in parallel mode retains only a 2-version ring.
+        big = spec(
+            iterations=100_000,
+            snapshot=SnapshotSpec(object_bytes=GiB, objects_per_snapshot=1),
+        )
+        assert validate_placement(big, P_LOCW, paper_testbed()) == []
+
+
+class TestCalibrationTables:
+    def test_default_calibration_clean(self):
+        assert validate_calibration(DEFAULT_CALIBRATION) == []
+
+    def test_non_monotone_bandwidth_plat301(self):
+        # Bypass OptaneCalibration.replace() (which validates) to build a
+        # curve that decreases inside the calibrated ramp.
+        broken = dataclasses.replace(DEFAULT_CALIBRATION, read_ramp_scale=-6.0)
+        found = validate_calibration(broken)
+        assert "PLAT301" in codes(found)
+        # The per-field check also fires (negative ramp constant).
+        assert "PLAT304" in codes(found)
+
+    def test_negative_bandwidth_plat301(self):
+        broken = dataclasses.replace(DEFAULT_CALIBRATION, local_write_peak=-1.0)
+        assert "PLAT301" in codes(validate_calibration(broken))
+
+    def test_zero_latency_plat302(self):
+        flat = dataclasses.replace(
+            DEFAULT_CALIBRATION,
+            read_latency_local=0.0,
+            write_latency_local=0.0,
+            read_latency_remote=0.0,
+            write_latency_remote=0.0,
+        )
+        found = validate_calibration(flat)
+        assert codes(found).count("PLAT302") == 4
+
+    def test_geometry_mismatch_plat303(self):
+        node = paper_testbed()
+        other = DEFAULT_CALIBRATION.replace(dimms_per_socket=4)
+        found = validate_node(node, other)
+        # Both sockets disagree with the 4-DIMM calibration.
+        assert codes(found) == ["PLAT303", "PLAT303"]
+
+    def test_matching_geometry_clean(self):
+        assert validate_node(paper_testbed(), DEFAULT_CALIBRATION) == []
+
+
+class TestValidateRunHook:
+    def test_clean_run_returns_no_errors(self):
+        diagnostics = validate_run(
+            spec(), P_LOCR, paper_testbed(), DEFAULT_CALIBRATION
+        )
+        assert [d for d in diagnostics if d.severity is Severity.ERROR] == []
+
+    def test_run_workflow_rejects_cycle_before_any_event(self):
+        cyclic = spec(
+            couplings=(("simulation", "analytics"), ("analytics", "simulation"))
+        )
+        with pytest.raises(ValidationError) as excinfo:
+            run_workflow(cyclic, P_LOCR)
+        assert excinfo.value.codes == ("SPEC201",)
+
+    def test_run_workflow_rejects_bad_socket(self):
+        with pytest.raises(ValidationError) as excinfo:
+            run_workflow(spec(), P_LOCR, reader_socket=7)
+        assert excinfo.value.codes == ("SPEC203",)
+
+    def test_run_workflow_single_socket_node_rejected(self):
+        # The paper's workflows need two sockets; a one-socket platform
+        # cannot host the default reader placement.
+        with pytest.raises(ValidationError) as excinfo:
+            run_workflow(spec(), P_LOCR, node_factory=single_socket_node)
+        assert "SPEC203" in excinfo.value.codes
+
+    def test_validation_error_is_structured(self):
+        try:
+            run_workflow(spec(ranks=40), S_LOCW)
+        except ValidationError as exc:
+            assert all(d.code.startswith("SPEC") for d in exc.diagnostics)
+            assert all(d.severity is Severity.ERROR for d in exc.diagnostics)
+            rendered = str(exc)
+            assert "SPEC204" in rendered
+        else:  # pragma: no cover
+            pytest.fail("expected ValidationError")
+
+    def test_validate_false_skips_checks(self):
+        cyclic = spec(
+            couplings=(("simulation", "analytics"), ("analytics", "simulation"))
+        )
+        # The coupling graph is advisory metadata for the 1:1 runner, so an
+        # unvalidated run still executes — that escape hatch is deliberate.
+        result = run_workflow(cyclic, P_LOCR, validate=False)
+        assert result.makespan > 0

@@ -141,9 +141,27 @@ class TestThreadedWorkflow:
         assert any("writer failed" in str(e) for e in result.errors)
 
     def test_emulated_device_slows_run(self):
-        fast = self.make().run(P_LOCR)
-        slow = self.make(emulate_device=True, time_scale=0.02).run(P_LOCR)
-        assert slow.makespan_seconds > fast.makespan_seconds
+        # Comparing the wall-clock makespans of two runs is flaky: the
+        # payloads are tiny, so both runs are dominated by scheduler noise.
+        # Instead check the mechanism: emulation injects a model-derived
+        # sleep per publish/consume, and time.sleep guarantees *at least*
+        # the requested duration — so the makespan has a deterministic
+        # floor of iterations * delay, regardless of machine load.
+        fast = self.make()
+        assert fast._emulated_delay("write", remote=not P_LOCR.writer_local) == 0.0
+
+        slow = self.make(emulate_device=True, time_scale=0.02)
+        write_delay = slow._emulated_delay("write", remote=not P_LOCR.writer_local)
+        read_delay = slow._emulated_delay("read", remote=not P_LOCR.reader_local)
+        assert write_delay > 0
+        assert read_delay > 0
+
+        result = slow.run(P_LOCR)
+        assert result.ok
+        iterations = slow.spec.iterations
+        # Each writer thread sleeps write_delay per iteration sequentially;
+        # readers add read_delay per consumed version on the critical path.
+        assert result.makespan_seconds >= iterations * write_delay
 
     def test_negative_time_scale_rejected(self):
         from repro.errors import ConfigurationError

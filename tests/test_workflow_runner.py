@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.configs import ALL_CONFIGS, P_LOCR, P_LOCW, S_LOCR, S_LOCW
-from repro.errors import PlacementError
+from repro.errors import PlacementError, ValidationError
 from repro.pmem.calibration import DEFAULT_CALIBRATION
 from repro.storage.objects import SnapshotSpec
 from repro.units import GiB, KiB, MiB
@@ -68,8 +68,15 @@ class TestRunSemantics:
         assert run_workflow(micro_spec(), S_LOCW).tracer is None
 
     def test_oversubscription_raises(self):
-        with pytest.raises(PlacementError):
+        # Pre-run validation rejects it with a structured diagnostic.
+        with pytest.raises(ValidationError) as excinfo:
             run_workflow(micro_spec(ranks=40), S_LOCW)
+        assert "SPEC204" in excinfo.value.codes
+
+    def test_oversubscription_raises_unvalidated(self):
+        # With validation off, the core pool itself is the backstop.
+        with pytest.raises(PlacementError):
+            run_workflow(micro_spec(ranks=40), S_LOCW, validate=False)
 
     def test_compute_jitter_zero_is_lockstep(self):
         spec = micro_spec(sim_compute=FixedWorkKernel(1.0))
