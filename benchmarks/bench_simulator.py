@@ -8,6 +8,7 @@ one solver-heavy small-object workflow.
 from repro.apps.gtc import gtc_workflow
 from repro.apps.microbench import micro_workflow
 from repro.core.configs import P_LOCR, S_LOCW
+from repro.metrics.timeline import render_timeline
 from repro.units import KiB, MiB
 from repro.workflow.runner import run_workflow
 
@@ -26,3 +27,19 @@ def test_simulate_small_object_workflow(benchmark):
         run_workflow, args=(spec, S_LOCW), rounds=3, iterations=1, warmup_rounds=1
     )
     assert result.makespan > 0
+
+
+def test_render_timeline_wide(benchmark):
+    """Guard for the chronological-sweep renderer: a record-heavy trace at
+    a wide terminal width used to cost O(width x records) per rank."""
+    spec = gtc_workflow(ranks=24, iterations=10)
+    result = run_workflow(spec, P_LOCR, trace=True)
+    rendered = benchmark.pedantic(
+        render_timeline,
+        args=(result.tracer,),
+        kwargs={"width": 400},
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert rendered.count("\n") >= 2 * spec.ranks

@@ -120,6 +120,13 @@ SIM106 = register(
     "raw byte/bandwidth magnitude literal; use the repro.units constants "
     "(KiB/MiB/GiB, KB/MB/GB, GIGA)",
 )
+SIM108 = register(
+    "SIM108",
+    "raw-trace-record-append",
+    "direct append to Tracer.records bypasses the timestamp validation in "
+    "Tracer.record(); only repro.sim.trace and repro.obs may touch the "
+    "record list",
+)
 
 # ---------------------------------------------------------------------------
 # SPEC2xx — workflow-spec validation (repro.analysis.validate).

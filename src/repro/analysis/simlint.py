@@ -31,6 +31,11 @@ happens to compare equal today — so this pass walks the source with
 ``SIM106``
     Raw magic byte/bandwidth magnitude literals (powers of 1024, ``2**30``,
     ``1e9``...) where the :mod:`repro.units` constants exist.
+``SIM108``
+    Direct ``tracer.records.append(...)`` outside :mod:`repro.sim.trace`
+    and :mod:`repro.obs`.  :meth:`~repro.sim.trace.Tracer.record` validates
+    timestamps (finite, non-backwards); appending to the list bypasses
+    that and can corrupt every aggregate built on the trace.
 
 A finding can be suppressed with a ``# noqa`` or ``# noqa: SIM103`` comment
 on the offending line — but the default state of the tree is zero
@@ -61,6 +66,11 @@ BLOCKING_IO_PACKAGES: Set[str] = {"sim", "workflow", "storage", "platform", "pme
 
 #: Module stems exempt from SIM106 (they *define* the unit constants).
 UNITS_MODULES: Set[str] = {"units"}
+
+#: Where appending to ``Tracer.records`` is legitimate (SIM108): the tracer
+#: itself, and the observability layer that post-processes record lists.
+TRACE_APPEND_ALLOWED_MODULES: Set[str] = {"repro.sim.trace"}
+TRACE_APPEND_ALLOWED_PACKAGES: Set[str] = {"obs"}
 
 # ---------------------------------------------------------------------------
 # Name tables.
@@ -261,7 +271,32 @@ class _Linter(ast.NodeVisitor):
             self._check_wall_clock(node, resolved)
             self._check_random(node, resolved)
             self._check_blocking(node, resolved)
+        self._check_trace_append(node)
         self.generic_visit(node)
+
+    def _check_trace_append(self, node: ast.Call) -> None:
+        # SIM108: ``<anything>.records.append(...)`` — the attribute chain
+        # is matched structurally so aliasing the tracer doesn't hide it.
+        if self.package in TRACE_APPEND_ALLOWED_PACKAGES:
+            return
+        for allowed in TRACE_APPEND_ALLOWED_MODULES:
+            # Path-derived module names may carry a filesystem prefix
+            # ("src.repro.sim.trace"); match on the repro-anchored tail.
+            if self.module == allowed or self.module.endswith("." + allowed):
+                return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "append"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "records"
+        ):
+            self._emit(
+                "SIM108",
+                node,
+                "direct append to Tracer.records bypasses timestamp validation",
+                "call Tracer.record(...) so intervals are checked",
+            )
 
     def _check_wall_clock(self, node: ast.Call, resolved: str) -> None:
         if not self.in_wallclock_zone:

@@ -51,15 +51,24 @@ def render_timeline(
     for component in components:
         ranks = sorted({r.rank for r in tracer.by_component(component)})
         for rank in ranks:
+            # Single chronological sweep: column midpoints are increasing
+            # and the intervals are sorted by (start, end), so records with
+            # start <= t form a growing prefix.  Keep the started-but-not-
+            # ended records in sorted order and show the first one — the
+            # same record the old per-column scan found, without re-walking
+            # the whole rank history for every column.
             intervals = list(tracer.iter_intervals(component, rank))
+            active: List = []
+            next_record = 0
             row = []
             for column in range(width):
                 t = start + (column + 0.5) * column_seconds
-                glyph = " "
-                for record in intervals:
-                    if record.start <= t < record.end:
-                        glyph = PHASE_GLYPHS.get(record.phase, "?")
-                        break
+                while next_record < len(intervals) and intervals[next_record].start <= t:
+                    active.append(intervals[next_record])
+                    next_record += 1
+                if active:
+                    active = [record for record in active if record.end > t]
+                glyph = PHASE_GLYPHS.get(active[0].phase, "?") if active else " "
                 row.append(glyph)
             lines.append(f"{component[:6]:>6}[{rank:2d}] {''.join(row)}")
     return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""repro.obs — virtual-time observability for the simulator.
+
+Everything the paper's analysis needs to *explain* a run — which rank
+stalled on a version wait, which socket's PMEM saturated, how far achieved
+bandwidth fell below the model ceiling — flows through this package:
+
+* :mod:`repro.obs.probes` — the instrumentation API: counters, gauges and
+  histograms keyed on **virtual** time.  The engine, the fluid-flow
+  network, the PMEM devices and the NVStream channel all emit into a
+  :class:`~repro.obs.probes.ProbeRegistry`; when no registry is attached
+  the emission sites are a single ``is None`` branch (zero overhead).
+* :mod:`repro.obs.spans` — hierarchical spans (run -> rank -> iteration ->
+  phase) layered on the existing :class:`~repro.sim.trace.Tracer`,
+  OTel-inspired but clocked on ``engine.now``.
+* :mod:`repro.obs.manifest` — run provenance: spec, configuration,
+  calibration-table hash, git SHA and determinism inputs, so every
+  exported trace can be reproduced.
+* :mod:`repro.obs.capture` — :class:`~repro.obs.capture.Observation`
+  (one observed run) and the capture context that wires observability
+  into ``run_workflow`` and the experiments CLI.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (loads in Perfetto /
+  ``chrome://tracing``), JSONL span and metric dumps, and the trace
+  schema validator.
+* :mod:`repro.obs.report` — the text hot-phase report and run diffing.
+* ``python -m repro.obs`` — the ``export`` / ``summary`` / ``diff`` /
+  ``validate`` command line (:mod:`repro.obs.cli`).
+"""
+
+from repro.obs.capture import Observation, capture_runs, observe_workflow
+from repro.obs.export import (
+    chrome_trace,
+    metrics_records,
+    span_records,
+    to_json,
+    to_jsonl,
+    trace_makespans,
+    validate_chrome_trace,
+)
+from repro.obs.manifest import RunManifest, build_manifest, calibration_hash
+from repro.obs.probes import Counter, Gauge, Histogram, ProbeRegistry
+from repro.obs.report import diff_report, hot_phase_report
+from repro.obs.spans import Span, build_spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Observation",
+    "ProbeRegistry",
+    "RunManifest",
+    "Span",
+    "build_manifest",
+    "build_spans",
+    "calibration_hash",
+    "capture_runs",
+    "chrome_trace",
+    "diff_report",
+    "hot_phase_report",
+    "metrics_records",
+    "observe_workflow",
+    "span_records",
+    "to_json",
+    "to_jsonl",
+    "trace_makespans",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,189 @@
+"""``python -m repro.obs`` — export, summarize, diff and validate traces.
+
+Examples::
+
+    # Run micro-2k@8 under S-LocW and export a Perfetto-loadable trace.
+    python -m repro.obs export --config S-LocW --out trace.json
+
+    # All four Table I configurations of one workflow, plus raw dumps.
+    python -m repro.obs export --family gtc+readonly --ranks 16 \\
+        --config all --out trace.json --spans-out spans.jsonl \\
+        --metrics-out metrics.jsonl --manifest-out manifest.json
+
+    # Where did the virtual time go?
+    python -m repro.obs summary --config all
+
+    # What changed between two exports (configs, code versions, tables)?
+    python -m repro.obs diff before.json after.json
+
+    # Schema-check a trace file (used by CI on its exported artifact).
+    python -m repro.obs validate trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List, Optional
+
+from repro.apps.suite import CONCURRENCY_LEVELS, FAMILIES, suite_entry
+from repro.core.configs import ALL_CONFIGS, SchedulerConfig
+from repro.obs.capture import Observation, observe_workflow
+from repro.obs.export import (
+    chrome_trace,
+    metrics_records,
+    span_records,
+    to_json,
+    to_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.report import diff_report, hot_phase_report
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--family",
+        default="micro-2k",
+        choices=FAMILIES,
+        help="workload family (default: micro-2k)",
+    )
+    parser.add_argument(
+        "--ranks",
+        type=int,
+        default=CONCURRENCY_LEVELS[0],
+        choices=CONCURRENCY_LEVELS,
+        help=f"ranks per component (default: {CONCURRENCY_LEVELS[0]})",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="override the family's iteration count (smaller = faster)",
+    )
+    parser.add_argument(
+        "--config",
+        default="S-LocW",
+        help="Table I label (S-LocW, S-LocR, P-LocW, P-LocR) or 'all'",
+    )
+
+
+def _configs(label: str) -> List[SchedulerConfig]:
+    if label.strip().lower() == "all":
+        return list(ALL_CONFIGS)
+    return [SchedulerConfig.from_label(label)]
+
+
+def _observe(args: argparse.Namespace) -> List[Observation]:
+    spec = suite_entry(args.family, args.ranks).spec
+    if args.iterations is not None:
+        if args.iterations <= 0:
+            raise SystemExit("--iterations must be positive")
+        spec = dataclasses.replace(spec, iterations=args.iterations)
+    return [observe_workflow(spec, config) for config in _configs(args.config)]
+
+
+def _write(path: str, payload: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    observations = _observe(args)
+    document = chrome_trace(observations)
+    _write(args.out, to_json(document))
+    print(
+        f"wrote {args.out}: {len(document['traceEvents'])} events, "
+        f"{len(observations)} run(s)"
+    )
+    if args.spans_out:
+        _write(args.spans_out, to_jsonl(span_records(observations)))
+        print(f"wrote {args.spans_out}")
+    if args.metrics_out:
+        _write(args.metrics_out, to_jsonl(metrics_records(observations)))
+        print(f"wrote {args.metrics_out}")
+    if args.manifest_out:
+        manifests = [obs.manifest.as_dict() for obs in observations]
+        _write(args.manifest_out, to_json(manifests))
+        print(f"wrote {args.manifest_out}")
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    observations = _observe(args)
+    print(hot_phase_report(observations))
+    return 0
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    print(diff_report(_load(args.trace_a), _load(args.trace_b)))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    problems = validate_chrome_trace(_load(args.trace))
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{args.trace}: INVALID ({len(problems)} problem(s))")
+        return 1
+    print(f"{args.trace}: OK")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Export and inspect virtual-time observability data.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    export = commands.add_parser(
+        "export", help="run a workflow and export its trace"
+    )
+    _add_spec_arguments(export)
+    export.add_argument(
+        "--out", default="trace.json", help="Chrome trace-event JSON path"
+    )
+    export.add_argument(
+        "--spans-out", default=None, help="also dump spans as JSONL"
+    )
+    export.add_argument(
+        "--metrics-out", default=None, help="also dump instruments as JSONL"
+    )
+    export.add_argument(
+        "--manifest-out", default=None, help="also dump run manifests as JSON"
+    )
+    export.set_defaults(func=_cmd_export)
+
+    summary = commands.add_parser(
+        "summary", help="run a workflow and print the hot-phase report"
+    )
+    _add_spec_arguments(summary)
+    summary.set_defaults(func=_cmd_summary)
+
+    diff = commands.add_parser(
+        "diff", help="compare two exported trace files"
+    )
+    diff.add_argument("trace_a")
+    diff.add_argument("trace_b")
+    diff.set_defaults(func=_cmd_diff)
+
+    validate = commands.add_parser(
+        "validate", help="schema-check an exported trace file"
+    )
+    validate.add_argument("trace")
+    validate.set_defaults(func=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -69,6 +69,13 @@ class Engine:
         self._queue: List[Tuple[float, int, Timer]] = []
         self._processes: List[Process] = []
         self._running = False
+        #: Executed (non-cancelled) timer callbacks.
+        self.events_executed: int = 0
+        #: Cancelled timers discarded while popping the heap.
+        self.timers_cancelled_skipped: int = 0
+        #: Optional observability adapter (see :mod:`repro.obs.hooks`);
+        #: ``None`` keeps the hot loop branch-cheap when not observing.
+        self.hooks: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock and scheduling.
@@ -77,6 +84,11 @@ class Engine:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def timers_scheduled(self) -> int:
+        """Total timers ever pushed onto the event queue."""
+        return self._seq
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
         """Run *callback* ``delay`` seconds from now; returns a cancellable handle."""
@@ -124,11 +136,15 @@ class Engine:
         while self._queue:
             time, _seq, timer = heapq.heappop(self._queue)
             if timer.cancelled:
+                self.timers_cancelled_skipped += 1
                 continue
             if time < self._now:  # pragma: no cover - guarded by schedule()
                 raise SimulationError("event queue went backwards in time")
             self._now = time
             timer.callback()
+            self.events_executed += 1
+            if self.hooks is not None:
+                self.hooks.on_step(self._now, len(self._queue))
             return True
         return False
 
@@ -176,6 +192,7 @@ class Engine:
     def _peek_time(self) -> Optional[float]:
         while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
+            self.timers_cancelled_skipped += 1
         return self._queue[0][0] if self._queue else None
 
     @property

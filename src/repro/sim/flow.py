@@ -374,6 +374,9 @@ class FlowNetwork:
         self._last_update: float = 0.0
         self.recompute_count: int = 0
         self._observed_resources: set = set()
+        #: Optional observability adapter (see :mod:`repro.obs.hooks`);
+        #: ``None`` keeps the solver path free of instrumentation cost.
+        self.hooks: Optional[object] = None
 
     # ------------------------------------------------------------------
     @property
@@ -430,6 +433,8 @@ class FlowNetwork:
         for resource, load in loads.items():
             resource.observe(self.engine.now, load)
         self._observed_resources = set(loads)
+        if self.hooks is not None:
+            self.hooks.on_recompute(self.engine.now, self._flows, loads)
         for flow in self._flows:
             flow.rate = rates[flow]
             if flow._timer is not None:
@@ -457,6 +462,8 @@ class FlowNetwork:
             flow.remaining = 0.0
             flow.rate = 0.0
             self._flows.remove(flow)
+            if self.hooks is not None:
+                self.hooks.on_flow_complete(self.engine.now, flow)
             flow.done.succeed(flow)
             # Recompute even when no flows remain so stateful resources
             # observe the transition to idle.

@@ -7,8 +7,12 @@ into the split writer/reader bars shown in the paper's figures.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.engine import TIME_EPSILON
 
 
 @dataclass(frozen=True)
@@ -61,9 +65,30 @@ class Tracer:
         iteration: int = -1,
         **detail: Any,
     ) -> None:
-        """Append a record (no-op when tracing is disabled)."""
+        """Append a record (no-op when tracing is disabled).
+
+        Raises
+        ------
+        SimulationError
+            If either timestamp is non-finite, or the interval runs
+            backwards by more than the solver rounding tolerance
+            (:data:`~repro.sim.engine.TIME_EPSILON`).  Downstream
+            consumers (span building, timeline rendering, exports) all
+            assume closed forward intervals; a negative duration would
+            silently corrupt every aggregate built on the trace.
+        """
         if not self.enabled:
             return
+        if not (math.isfinite(start) and math.isfinite(end)):
+            raise SimulationError(
+                f"trace record {component}[{rank}].{phase}: timestamps must "
+                f"be finite, got start={start}, end={end}"
+            )
+        if end < start - TIME_EPSILON * max(1.0, abs(start), abs(end)):
+            raise SimulationError(
+                f"trace record {component}[{rank}].{phase}: interval runs "
+                f"backwards (start={start}, end={end})"
+            )
         self.records.append(
             TraceRecord(
                 component=component,

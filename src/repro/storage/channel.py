@@ -16,7 +16,7 @@ on, which is how a long-running workflow fits in finite App-Direct capacity
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.errors import StorageError
 from repro.sim.events import SimEvent
@@ -60,6 +60,10 @@ class StreamChannel:
         Per-rank snapshot payload description (for space reservation).
     retained_versions:
         Ring depth: how many versions per stream are kept live in PMEM.
+    hooks:
+        Optional observability adapter (see :mod:`repro.obs.hooks`); when
+        set, the channel reports publications, version waits, reader lag
+        and retention pressure through the probe API.
     """
 
     def __init__(
@@ -71,6 +75,7 @@ class StreamChannel:
         n_streams: int,
         snapshot: SnapshotSpec,
         retained_versions: int = 2,
+        hooks: Optional[object] = None,
     ) -> None:
         if n_streams <= 0:
             raise StorageError(f"n_streams must be positive, got {n_streams}")
@@ -88,10 +93,16 @@ class StreamChannel:
         self._streams: Dict[int, _StreamState] = {
             i: _StreamState() for i in range(n_streams)
         }
+        self.hooks = hooks
         self._reserved_bytes = (
             snapshot.snapshot_bytes * n_streams * retained_versions
         )
-        node.socket(pmem_socket).pmem.allocate(self._reserved_bytes)
+        device = node.socket(pmem_socket).pmem
+        device.allocate(self._reserved_bytes)
+        if self.hooks is not None:
+            self.hooks.on_reserve(
+                engine.now, self._reserved_bytes, device.capacity_bytes
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -129,6 +140,8 @@ class StreamChannel:
         state.published = version
         state.publish_times.append(self.engine.now)
         state.bytes_published += nbytes
+        if self.hooks is not None:
+            self.hooks.on_publish(self.engine.now, stream_id, version, nbytes)
         waiter = state.waiters.pop(version, None)
         if waiter is not None:
             waiter.succeed(version)
@@ -145,6 +158,10 @@ class StreamChannel:
                 event.succeed(version)
             else:
                 state.waiters[version] = event
+                if self.hooks is not None:
+                    self.hooks.on_wait(
+                        self.engine.now, stream_id, version, state.published
+                    )
         return event
 
     def published_version(self, stream_id: int) -> int:

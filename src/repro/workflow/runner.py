@@ -37,6 +37,7 @@ from repro.workflow.spec import WorkflowSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports us)
     from repro.core.configs import SchedulerConfig
+    from repro.obs.capture import Observation
 
 
 @dataclass
@@ -90,6 +91,7 @@ class _WorkflowExecution:
         writer_socket: int = 0,
         reader_socket: int = 1,
         compute_jitter: float = DEFAULT_COMPUTE_JITTER,
+        observation: Optional["Observation"] = None,
     ) -> None:
         if writer_socket == reader_socket:
             raise ConfigurationError(
@@ -102,7 +104,8 @@ class _WorkflowExecution:
         self.stack = stack
         self.engine = Engine()
         self.network = FlowNetwork(self.engine)
-        self.tracer = Tracer(enabled=trace)
+        self.observation = observation
+        self.tracer = Tracer(enabled=trace or observation is not None)
         self.writer_socket = writer_socket
         self.reader_socket = reader_socket
         self.compute_jitter = compute_jitter
@@ -122,6 +125,26 @@ class _WorkflowExecution:
         # reader consumes anything until all writers finish), which is the
         # real capacity cost of serial scheduling; parallel mode recycles a
         # small ring.
+        # Observability: attach probe adapters before any event executes so
+        # the instruments see the whole run.  All handles stay ``None`` on
+        # the unobserved path (a single branch per emission site).
+        self._obs_write_bytes = self._obs_read_bytes = None
+        self._obs_consumed = None
+        channel_hooks = None
+        if observation is not None:
+            observation.tracer = self.tracer
+            self.engine.hooks = observation.engine_hooks()
+            self.network.hooks = observation.network_hooks()
+            channel_hooks = observation.channel_hooks()
+            probes = observation.probes
+            self._obs_write_bytes = probes.counter(
+                "pmem.payload_bytes", socket=self.channel_socket, direction="write"
+            )
+            self._obs_read_bytes = probes.counter(
+                "pmem.payload_bytes", socket=self.channel_socket, direction="read"
+            )
+            self._obs_consumed = probes.counter("channel.versions_consumed")
+
         self.channel = StreamChannel(
             engine=self.engine,
             node=node,
@@ -130,6 +153,7 @@ class _WorkflowExecution:
             n_streams=spec.ranks,
             snapshot=spec.snapshot,
             retained_versions=spec.iterations if not config.parallel else 2,
+            hooks=channel_hooks,
         )
 
     # ------------------------------------------------------------------
@@ -197,6 +221,8 @@ class _WorkflowExecution:
             yield self.network.transfer(flow)
             stats.io += engine.now - t0
             stats.payload_bytes += spec.snapshot.snapshot_bytes
+            if self._obs_write_bytes is not None:
+                self._obs_write_bytes.add(engine.now, spec.snapshot.snapshot_bytes)
             self.channel.publish(rank, iteration, nbytes=spec.snapshot.snapshot_bytes)
             self.tracer.record(
                 "writer",
@@ -245,6 +271,9 @@ class _WorkflowExecution:
             yield self.network.transfer(flow)
             stats.io += engine.now - t0
             stats.payload_bytes += spec.snapshot.snapshot_bytes
+            if self._obs_read_bytes is not None:
+                self._obs_read_bytes.add(engine.now, spec.snapshot.snapshot_bytes)
+                self._obs_consumed.add(engine.now, 1)
             self.tracer.record(
                 "reader",
                 rank,
@@ -282,7 +311,7 @@ class _WorkflowExecution:
             )
         makespan = self.engine.run()
         self.channel.close()
-        return RunResult(
+        result = RunResult(
             workflow_name=spec.name,
             config_label=self.config.label,
             makespan=makespan,
@@ -293,7 +322,11 @@ class _WorkflowExecution:
             bytes_written=self.writer_stats.payload_bytes,
             bytes_read=self.reader_stats.payload_bytes,
             tracer=self.tracer if self.tracer.enabled else None,
+            observation=self.observation,
         )
+        if self.observation is not None:
+            self.observation.finalize(self.engine, result)
+        return result
 
 
 def run_workflow(
@@ -306,6 +339,7 @@ def run_workflow(
     writer_socket: int = 0,
     reader_socket: int = 1,
     validate: bool = True,
+    observation: Optional["Observation"] = None,
 ) -> RunResult:
     """Simulate *spec* under *config* and return the run result.
 
@@ -334,6 +368,13 @@ def run_workflow(
         core pool, or an inconsistent calibration table raises
         :class:`repro.errors.ValidationError` with structured diagnostics
         before any simulated event executes.
+    observation:
+        Optional :class:`repro.obs.capture.Observation` to record the run
+        into (forces tracing on and attaches the probe hooks).  When
+        omitted and a :func:`repro.obs.capture.capture_runs` context is
+        active, an observation is created automatically and collected by
+        the enclosing session; otherwise the run is unobserved and the
+        instrumentation is a handful of ``is None`` branches.
     """
     if node_factory is None:
         node = paper_testbed(cal=cal)
@@ -351,6 +392,26 @@ def run_workflow(
             reader_socket=reader_socket,
         )
     stack = stack_by_name(spec.stack_name)
+    if observation is None:
+        # Imported here, not at module top, to keep the workflow layer free
+        # of a hard obs dependency (obs imports metrics, which workflow
+        # also imports); after the first call this is a dict lookup.
+        from repro.obs.capture import active_session
+
+        session = active_session()
+        if session is not None:
+            observation = session.begin_run()
+    if observation is not None:
+        from repro.obs.manifest import build_manifest
+
+        observation.manifest = build_manifest(
+            spec,
+            config,
+            cal,
+            writer_socket=writer_socket,
+            reader_socket=reader_socket,
+            compute_jitter=compute_jitter,
+        )
     execution = _WorkflowExecution(
         spec=spec,
         config=config,
@@ -361,6 +422,7 @@ def run_workflow(
         writer_socket=writer_socket,
         reader_socket=reader_socket,
         compute_jitter=compute_jitter,
+        observation=observation,
     )
     return execution.run()
 

@@ -180,6 +180,63 @@ class TestSIM106MagicLiteral:
         )
 
 
+class TestSIM108TraceRecordAppend:
+    SNIPPET = "def f(tracer, record):\n    tracer.records.append(record)"
+
+    def test_direct_append_flagged(self):
+        assert "SIM108" in codes(self.SNIPPET)
+
+    def test_flagged_through_any_receiver(self):
+        assert "SIM108" in codes(
+            "def f(result, record):\n"
+            "    result.tracer.records.append(record)"
+        )
+
+    def test_tracer_module_itself_exempt(self):
+        assert (
+            codes(
+                self.SNIPPET,
+                module="repro.sim.trace",
+                path="src/repro/sim/trace.py",
+            )
+            == []
+        )
+
+    def test_path_prefixed_tracer_module_exempt(self):
+        # Linting from the repo root yields path-derived module names.
+        assert (
+            codes(
+                self.SNIPPET,
+                module="src.repro.sim.trace",
+                path="/somewhere/src/repro/sim/trace.py",
+            )
+            == []
+        )
+
+    def test_obs_package_exempt(self):
+        assert (
+            codes(
+                self.SNIPPET,
+                module="repro.obs.spans",
+                path="src/repro/obs/spans.py",
+            )
+            == []
+        )
+
+    def test_record_call_not_flagged(self):
+        assert (
+            codes("def f(tracer):\n    tracer.record('w', 0, 'x', 0.0, 1.0)")
+            == []
+        )
+
+    def test_other_records_lists_flagged_too(self):
+        # Conservative by design: any attribute named `records` is treated
+        # as a trace-record list in simulator code.
+        assert "SIM108" in codes(
+            "def f(self, item):\n    self.records.append(item)"
+        )
+
+
 class TestSuppression:
     def test_noqa_with_code_suppresses(self):
         assert codes("CHUNK = 4096  # noqa: SIM106") == []
@@ -193,7 +250,16 @@ class TestSuppression:
 
 class TestRegistryAndFiltering:
     def test_every_sim_rule_has_a_registry_entry(self):
-        for code in ("SIM100", "SIM101", "SIM102", "SIM103", "SIM104", "SIM105", "SIM106"):
+        for code in (
+            "SIM100",
+            "SIM101",
+            "SIM102",
+            "SIM103",
+            "SIM104",
+            "SIM105",
+            "SIM106",
+            "SIM108",
+        ):
             rule = get_rule(code)
             assert rule.code == code
             assert rule.severity is Severity.ERROR

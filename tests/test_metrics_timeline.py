@@ -1,0 +1,95 @@
+"""Tests for the ASCII timeline renderer.
+
+The renderer was rewritten from an O(width x records) per-rank scan to a
+single chronological sweep; the brute-force reference implementation here
+pins down that the output is unchanged.
+"""
+
+import pytest
+
+from repro.apps.microbench import SMALL_OBJECT_BYTES, micro_workflow
+from repro.core.configs import P_LOCR, S_LOCW
+from repro.errors import ConfigurationError
+from repro.metrics.timeline import PHASE_GLYPHS, render_timeline
+from repro.sim.trace import Tracer
+from repro.workflow.runner import run_workflow
+
+
+def reference_render(tracer, width=100, components=("writer", "reader")):
+    """The pre-optimization algorithm: first-match scan per column."""
+    start, end = tracer.span()
+    span = end - start
+    column_seconds = span / width
+    lines = [
+        f"timeline: {span:.2f}s total, one column = {column_seconds * 1000:.1f} ms "
+        f"({', '.join(f'{glyph}={phase}' for phase, glyph in PHASE_GLYPHS.items())})"
+    ]
+    for component in components:
+        ranks = sorted({r.rank for r in tracer.by_component(component)})
+        for rank in ranks:
+            intervals = list(tracer.iter_intervals(component, rank))
+            row = []
+            for column in range(width):
+                t = start + (column + 0.5) * column_seconds
+                glyph = " "
+                for record in intervals:
+                    if record.start <= t < record.end:
+                        glyph = PHASE_GLYPHS.get(record.phase, "?")
+                        break
+                row.append(glyph)
+            lines.append(f"{component[:6]:>6}[{rank:2d}] {''.join(row)}")
+    return "\n".join(lines)
+
+
+def small_run(config, ranks=4, iterations=3):
+    spec = micro_workflow(SMALL_OBJECT_BYTES, ranks=ranks, iterations=iterations)
+    return run_workflow(spec, config, trace=True)
+
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("config", [S_LOCW, P_LOCR], ids=lambda c: c.label)
+    @pytest.mark.parametrize("width", [10, 37, 100, 253])
+    def test_matches_reference_on_real_traces(self, config, width):
+        tracer = small_run(config).tracer
+        assert render_timeline(tracer, width=width) == reference_render(
+            tracer, width=width
+        )
+
+    def test_matches_reference_on_overlapping_intervals(self):
+        # Overlaps and shared start times exercise the "first record in
+        # sorted order wins" tie-break the sweep must preserve.
+        tracer = Tracer()
+        tracer.record("writer", 0, "compute", 0.0, 4.0)
+        tracer.record("writer", 0, "write", 0.0, 2.0)
+        tracer.record("writer", 0, "wait", 1.0, 6.0)
+        tracer.record("writer", 0, "write", 5.0, 5.5)
+        tracer.record("reader", 0, "read", 2.0, 3.0)
+        for width in (10, 33, 64):
+            assert render_timeline(tracer, width=width) == reference_render(
+                tracer, width=width
+            )
+
+    def test_idle_gaps_are_blank(self):
+        tracer = Tracer()
+        tracer.record("writer", 0, "write", 0.0, 1.0)
+        tracer.record("writer", 0, "write", 9.0, 10.0)
+        rendered = render_timeline(tracer, width=10)
+        row = rendered.splitlines()[1]
+        assert row.endswith("W        W")
+
+
+class TestRenderTimelineValidation:
+    def test_narrow_width_rejected(self):
+        tracer = Tracer()
+        tracer.record("writer", 0, "write", 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            render_timeline(tracer, width=5)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline(Tracer())
+
+    def test_unknown_phase_renders_question_mark(self):
+        tracer = Tracer()
+        tracer.record("writer", 0, "mystery", 0.0, 1.0)
+        assert "?" in render_timeline(tracer, width=10)

@@ -1,5 +1,10 @@
 """Unit tests for the tracer."""
 
+import math
+
+import pytest
+
+from repro.errors import SimulationError
 from repro.sim.trace import TraceRecord, Tracer
 
 
@@ -51,4 +56,40 @@ class TestTracer:
     def test_disabled_tracer_records_nothing(self):
         tracer = Tracer(enabled=False)
         tracer.record("writer", 0, "write", 0.0, 1.0)
+        assert tracer.records == []
+
+
+class TestRecordValidation:
+    def test_backwards_interval_rejected(self):
+        with pytest.raises(SimulationError, match="backwards"):
+            Tracer().record("writer", 0, "write", 2.0, 1.0)
+
+    def test_rounding_jitter_tolerated(self):
+        # end < start within TIME_EPSILON is solver rounding, not a bug.
+        tracer = Tracer()
+        tracer.record("writer", 0, "write", 1.0, 1.0 - 1e-12)
+        assert len(tracer.records) == 1
+
+    def test_zero_duration_allowed(self):
+        tracer = Tracer()
+        tracer.record("writer", 0, "write", 1.0, 1.0)
+        assert tracer.records[0].duration == 0.0
+
+    @pytest.mark.parametrize(
+        "start, end",
+        [
+            (math.nan, 1.0),
+            (0.0, math.nan),
+            (math.inf, math.inf),
+            (0.0, -math.inf),
+        ],
+    )
+    def test_non_finite_timestamps_rejected(self, start, end):
+        with pytest.raises(SimulationError, match="finite"):
+            Tracer().record("writer", 0, "write", start, end)
+
+    def test_disabled_tracer_skips_validation(self):
+        # The disabled path must stay zero-cost: no checks, no records.
+        tracer = Tracer(enabled=False)
+        tracer.record("writer", 0, "write", math.nan, -math.inf)
         assert tracer.records == []
