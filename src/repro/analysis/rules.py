@@ -127,6 +127,14 @@ SIM108 = register(
     "Tracer.record(); only repro.sim.trace and repro.obs may touch the "
     "record list",
 )
+SIM109 = register(
+    "SIM109",
+    "stray-host-clock",
+    "host-clock call (time.perf_counter / time.time / ...) outside the "
+    "sanctioned readers; wall-clock measurement belongs in "
+    "repro.obs.hostmetrics or repro.runtime so host cost stays out of "
+    "deterministic payloads",
+)
 
 # ---------------------------------------------------------------------------
 # SPEC2xx — workflow-spec validation (repro.analysis.validate).

@@ -36,6 +36,14 @@ happens to compare equal today — so this pass walks the source with
     and :mod:`repro.obs`.  :meth:`~repro.sim.trace.Tracer.record` validates
     timestamps (finite, non-backwards); appending to the list bypasses
     that and can corrupt every aggregate built on the trace.
+``SIM109``
+    Host-clock reads (``time.perf_counter``, ``time.time``, ...) in code
+    that is *exempt* from SIM101 but is still not a sanctioned wall-clock
+    reader.  Only :mod:`repro.obs.hostmetrics` (host self-metrics for the
+    campaign store) and the :mod:`repro.runtime` package may touch the
+    host clock; anywhere else, a stray wall-clock read is how
+    non-determinism leaks into payloads that are supposed to be
+    byte-identical.
 
 A finding can be suppressed with a ``# noqa`` or ``# noqa: SIM103`` comment
 on the offending line — but the default state of the tree is zero
@@ -59,6 +67,13 @@ from repro.units import KB, KiB
 #: Packages exempt from the virtual-time rules: the threaded runtime really
 #: runs on the wall clock, and the analysis tooling is not simulator code.
 WALLCLOCK_EXEMPT_PACKAGES: Set[str] = {"runtime", "analysis"}
+
+#: The sanctioned wall-clock readers (SIM109): the real threaded executor,
+#: and the host self-metrics module feeding the campaign store.  Everything
+#: else — including the rest of :mod:`repro.obs` and the SIM101-exempt
+#: analysis tooling — must not read the host clock.
+HOST_CLOCK_ALLOWED_PACKAGES: Set[str] = {"runtime"}
+HOST_CLOCK_ALLOWED_MODULES: Set[str] = {"repro.obs.hostmetrics"}
 
 #: Packages whose code runs inside (or builds state for) simulated
 #: processes, where blocking I/O is always a bug.
@@ -298,15 +313,38 @@ class _Linter(ast.NodeVisitor):
                 "call Tracer.record(...) so intervals are checked",
             )
 
+    def _module_is_allowed_host_clock_reader(self) -> bool:
+        if self.package in HOST_CLOCK_ALLOWED_PACKAGES:
+            return True
+        for allowed in HOST_CLOCK_ALLOWED_MODULES:
+            # Path-derived module names may carry a filesystem prefix
+            # ("src.repro.obs.hostmetrics"); match on the anchored tail.
+            if self.module == allowed or self.module.endswith("." + allowed):
+                return True
+        return False
+
     def _check_wall_clock(self, node: ast.Call, resolved: str) -> None:
-        if not self.in_wallclock_zone:
+        if not (
+            resolved in _WALL_CLOCK_CALLS
+            or resolved.endswith(_WALL_CLOCK_SUFFIXES)
+        ):
             return
-        if resolved in _WALL_CLOCK_CALLS or resolved.endswith(_WALL_CLOCK_SUFFIXES):
+        if self._module_is_allowed_host_clock_reader():
+            return
+        if self.in_wallclock_zone:
             self._emit(
                 "SIM101",
                 node,
                 f"wall-clock source {resolved}() in simulator code",
                 "read virtual time from Engine.now (repro.sim.engine)",
+            )
+        else:
+            self._emit(
+                "SIM109",
+                node,
+                f"host-clock call {resolved}() outside the sanctioned readers",
+                "measure host cost via repro.obs.hostmetrics.HostMeter "
+                "(or move the code into repro.runtime)",
             )
 
     def _check_random(self, node: ast.Call, resolved: str) -> None:

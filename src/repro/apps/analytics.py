@@ -35,9 +35,11 @@ GTC_MATMUL_COUNT = 10_000_000
 
 #: Multiplications per object for the miniAMR variant (§IV-B: 5).
 MINIAMR_MATMULS_PER_OBJECT = 5
-#: The kernel multiplies 12 x 12 tiles of each 4.5 KB object; one multiply
-#: is 2 * 12**3 flops, i.e. ~0.9 us at the default core rate.
-MINIAMR_SECONDS_PER_MATMUL = 2.0 * 12**3 / (4.0 * GIGA)
+#: Matrix dimension of the miniAMR per-object multiply (12 x 12 tiles of
+#: each 4.5 KB object).
+MINIAMR_MATMUL_DIM = 12
+#: One multiply is 2 * dim**3 flops, i.e. ~0.9 us at the default core rate.
+MINIAMR_SECONDS_PER_MATMUL = 2.0 * MINIAMR_MATMUL_DIM**3 / (4.0 * GIGA)
 
 
 def read_only_kernel() -> ComputeKernel:
@@ -52,9 +54,16 @@ def gtc_matrixmult_kernel(
     return MatrixMultKernel(multiplies=multiplies, dim=dim)
 
 
-def miniamr_matrixmult_kernel(objects_per_snapshot: int) -> ComputeKernel:
-    """The miniAMR MatrixMult kernel: 5 small multiplies on each object."""
+def miniamr_matrixmult_kernel(
+    objects_per_snapshot: int, dim: int = MINIAMR_MATMUL_DIM
+) -> ComputeKernel:
+    """The miniAMR MatrixMult kernel: 5 small multiplies on each object.
+
+    ``dim`` is the matrix dimension of one multiply; calibration sweeps
+    vary it to move the compute/IO ratio without changing the I/O shape.
+    """
+    seconds_per_matmul = 2.0 * dim**3 / (4.0 * GIGA)
     return PerObjectKernel(
         objects=objects_per_snapshot,
-        seconds_per_object=MINIAMR_MATMULS_PER_OBJECT * MINIAMR_SECONDS_PER_MATMUL,
+        seconds_per_object=MINIAMR_MATMULS_PER_OBJECT * seconds_per_matmul,
     )

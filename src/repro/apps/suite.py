@@ -13,6 +13,7 @@ and the Table II validation.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -83,28 +84,60 @@ class SuiteEntry:
         return (self.family, self.ranks)
 
 
-def _build_spec(family: str, ranks: int, stack_name: str) -> WorkflowSpec:
+def build_workflow(
+    family: str,
+    ranks: int,
+    stack_name: str = "nvstream",
+    iterations: Optional[int] = None,
+    matmul_dim: Optional[int] = None,
+) -> WorkflowSpec:
+    """Build one suite workflow spec — the single constructor every driver
+    (tests, sweeps, the campaign runner, the obs CLI) shares, so the same
+    ``(family, ranks)`` cell always means the same spec.
+
+    Parameters
+    ----------
+    family / ranks:
+        A :data:`FAMILIES` member and concurrency level.
+    stack_name:
+        Storage-stack model (default: the paper's NVStream).
+    iterations:
+        Optional override of the family's iteration count (smaller =
+        faster; used by reduced CI campaigns).
+    matmul_dim:
+        Optional matrix dimension for the miniAMR MatrixMult kernel —
+        the knob calibration sweeps turn; ignored by other families.
+    """
     if family == "micro-64mb":
-        return micro_workflow(LARGE_OBJECT_BYTES, ranks, stack_name=stack_name)
-    if family == "micro-2k":
-        return micro_workflow(SMALL_OBJECT_BYTES, ranks, stack_name=stack_name)
-    if family == "gtc+readonly":
-        return gtc_workflow(read_only_kernel(), ranks=ranks, stack_name=stack_name)
-    if family == "gtc+matmult":
-        return gtc_workflow(
+        spec = micro_workflow(LARGE_OBJECT_BYTES, ranks, stack_name=stack_name)
+    elif family == "micro-2k":
+        spec = micro_workflow(SMALL_OBJECT_BYTES, ranks, stack_name=stack_name)
+    elif family == "gtc+readonly":
+        spec = gtc_workflow(read_only_kernel(), ranks=ranks, stack_name=stack_name)
+    elif family == "gtc+matmult":
+        spec = gtc_workflow(
             gtc_matrixmult_kernel(), ranks=ranks, stack_name=stack_name
         )
-    if family == "miniamr+readonly":
-        return miniamr_workflow(
+    elif family == "miniamr+readonly":
+        spec = miniamr_workflow(
             read_only_kernel(), ranks=ranks, stack_name=stack_name
         )
-    if family == "miniamr+matmult":
-        return miniamr_workflow(
-            miniamr_matrixmult_kernel(MINIAMR_OBJECTS_PER_RANK),
-            ranks=ranks,
-            stack_name=stack_name,
+    elif family == "miniamr+matmult":
+        kernel = (
+            miniamr_matrixmult_kernel(MINIAMR_OBJECTS_PER_RANK, dim=matmul_dim)
+            if matmul_dim is not None
+            else miniamr_matrixmult_kernel(MINIAMR_OBJECTS_PER_RANK)
         )
-    raise ConfigurationError(f"unknown workload family {family!r}")
+        spec = miniamr_workflow(kernel, ranks=ranks, stack_name=stack_name)
+    else:
+        raise ConfigurationError(f"unknown workload family {family!r}")
+    if iterations is not None:
+        if iterations <= 0:
+            raise ConfigurationError(
+                f"iterations must be positive, got {iterations}"
+            )
+        spec = dataclasses.replace(spec, iterations=iterations)
+    return spec
 
 
 def suite_entry(family: str, ranks: int, stack_name: str = "nvstream") -> SuiteEntry:
@@ -120,7 +153,7 @@ def suite_entry(family: str, ranks: int, stack_name: str = "nvstream") -> SuiteE
     return SuiteEntry(
         family=family,
         ranks=ranks,
-        spec=_build_spec(family, ranks, stack_name),
+        spec=build_workflow(family, ranks, stack_name=stack_name),
         paper_best=best,
         figure=figure,
     )

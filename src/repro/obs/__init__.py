@@ -22,10 +22,30 @@ bandwidth fell below the model ceiling — flows through this package:
   ``chrome://tracing``), JSONL span and metric dumps, and the trace
   schema validator.
 * :mod:`repro.obs.report` — the text hot-phase report and run diffing.
+* :mod:`repro.obs.store` — the persistent, append-only campaign store
+  (JSONL under ``campaigns/``) with content-hashed cell ids and a strict
+  deterministic / host / provenance payload split.
+* :mod:`repro.obs.hostmetrics` — host-side self-metrics (wall clock, peak
+  tracemalloc, optional cProfile hotspots); the one sanctioned wall-clock
+  reader outside :mod:`repro.runtime` (simlint SIM109).
+* :mod:`repro.obs.campaign` — the campaign runner over the paper suite,
+  the regression diff engine (makespan drift, winner flips, paper-claim
+  changes) and the markdown/terminal dashboards.
 * ``python -m repro.obs`` — the ``export`` / ``summary`` / ``diff`` /
-  ``validate`` command line (:mod:`repro.obs.cli`).
+  ``validate`` / ``campaign`` command line (:mod:`repro.obs.cli`).
 """
 
+from repro.obs.campaign import (
+    CampaignDiff,
+    CampaignRun,
+    SUITE_PRESETS,
+    bench_record,
+    campaign_from_store,
+    campaign_report,
+    diff_campaigns,
+    run_campaign,
+    run_cell,
+)
 from repro.obs.capture import Observation, capture_runs, observe_workflow
 from repro.obs.export import (
     chrome_trace,
@@ -36,29 +56,54 @@ from repro.obs.export import (
     trace_makespans,
     validate_chrome_trace,
 )
+from repro.obs.hostmetrics import (
+    HostMeter,
+    HostMetrics,
+    aggregate_host_metrics,
+    simulated_host_metrics,
+    threaded_host_metrics,
+)
 from repro.obs.manifest import RunManifest, build_manifest, calibration_hash
 from repro.obs.probes import Counter, Gauge, Histogram, ProbeRegistry
 from repro.obs.report import diff_report, hot_phase_report
 from repro.obs.spans import Span, build_spans
+from repro.obs.store import CampaignStore, StoredCampaign, StoredCell
 
 __all__ = [
+    "CampaignDiff",
+    "CampaignRun",
+    "CampaignStore",
     "Counter",
     "Gauge",
     "Histogram",
+    "HostMeter",
+    "HostMetrics",
     "Observation",
     "ProbeRegistry",
     "RunManifest",
+    "SUITE_PRESETS",
     "Span",
+    "StoredCampaign",
+    "StoredCell",
+    "aggregate_host_metrics",
+    "bench_record",
     "build_manifest",
     "build_spans",
     "calibration_hash",
+    "campaign_from_store",
+    "campaign_report",
     "capture_runs",
     "chrome_trace",
+    "diff_campaigns",
     "diff_report",
     "hot_phase_report",
     "metrics_records",
     "observe_workflow",
+    "run_campaign",
+    "run_cell",
+    "simulated_host_metrics",
     "span_records",
+    "threaded_host_metrics",
     "to_json",
     "to_jsonl",
     "trace_makespans",

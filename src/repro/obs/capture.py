@@ -81,6 +81,9 @@ class Observation:
         self.probes.counter("engine.timer_cancellations").add(
             now, engine.timers_cancelled_skipped
         )
+        self.probes.gauge("engine.peak_queue_depth").set(
+            now, engine.peak_queue_depth
+        )
         self.result = result
 
     def spans(self) -> List[Span]:

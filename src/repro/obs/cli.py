@@ -18,6 +18,14 @@ Examples::
 
     # Schema-check a trace file (used by CI on its exported artifact).
     python -m repro.obs validate trace.json
+
+    # Campaigns: persistent suite runs, regression diffs, dashboards.
+    python -m repro.obs campaign run --suite micro
+    python -m repro.obs campaign list
+    python -m repro.obs campaign show micro-001
+    python -m repro.obs campaign diff micro-001 micro-002 --fail-on flips
+    python -m repro.obs campaign report micro-001 --out report.md
+    python -m repro.obs campaign validate micro-001
 """
 
 from __future__ import annotations
@@ -40,6 +48,8 @@ from repro.obs.export import (
     validate_chrome_trace,
 )
 from repro.obs.report import diff_report, hot_phase_report
+from repro.obs.store import DEFAULT_CAMPAIGN_DIR, CampaignStore
+from repro.pmem.calibration import DEFAULT_CALIBRATION, OptaneCalibration
 
 
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -137,6 +147,120 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Campaign subcommands.
+# ----------------------------------------------------------------------
+def _calibration(settings: List[str]) -> OptaneCalibration:
+    """Apply repeatable ``--cal-set field=value`` overrides."""
+    if not settings:
+        return DEFAULT_CALIBRATION
+    changes = {}
+    for setting in settings:
+        field, _, value = setting.partition("=")
+        if not field or not value:
+            raise SystemExit(f"--cal-set wants field=value, got {setting!r}")
+        try:
+            changes[field] = float(value)
+        except ValueError:
+            raise SystemExit(f"--cal-set value {value!r} is not a number")
+    return DEFAULT_CALIBRATION.replace(**changes)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.obs.campaign import bench_record, campaign_report, run_campaign
+
+    store = CampaignStore(args.dir)
+    run = run_campaign(
+        suite=args.suite,
+        name=args.name,
+        store=store,
+        configs=_configs(args.config),
+        cal=_calibration(args.cal_set),
+        iterations=args.iterations,
+        profile=args.profile,
+        profile_top=args.profile_top,
+        progress=print,
+    )
+    print(f"recorded campaign {run.name!r} in {store.path(run.name)}")
+    print()
+    print(campaign_report(run, markdown=False))
+    if args.bench_out:
+        _write(args.bench_out, to_json(bench_record(run)))
+        print(f"wrote {args.bench_out}")
+    return 0
+
+
+def _cmd_campaign_list(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.dir)
+    names = store.list_campaigns()
+    if not names:
+        print(f"no campaigns under {store.root!r}")
+        return 0
+    for name in names:
+        stored = store.read(name)
+        header = stored.header
+        print(
+            f"{name}: suite={header.get('suite', '?')} "
+            f"cells={len(stored.cells)} "
+            f"cal={str(header.get('calibration_sha256', ''))[:12]}"
+        )
+    return 0
+
+
+def _cmd_campaign_show(args: argparse.Namespace) -> int:
+    from repro.obs.campaign import campaign_from_store, campaign_report
+
+    store = CampaignStore(args.dir)
+    run = campaign_from_store(store.read(args.name))
+    print(campaign_report(run, markdown=args.markdown))
+    return 0
+
+
+def _cmd_campaign_diff(args: argparse.Namespace) -> int:
+    from repro.obs.campaign import campaign_from_store, diff_campaigns
+
+    store = CampaignStore(args.dir)
+    run_a = campaign_from_store(store.read(args.campaign_a))
+    run_b = campaign_from_store(store.read(args.campaign_b))
+    diff = diff_campaigns(run_a, run_b, threshold=args.threshold)
+    print(diff.render_markdown() if args.markdown else diff.render_text())
+    if args.fail_on == "flips" and diff.winner_flips:
+        return 1
+    if args.fail_on == "regressions" and diff.regressions:
+        return 1
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.obs.campaign import campaign_from_store, campaign_report
+
+    store = CampaignStore(args.dir)
+    run = campaign_from_store(store.read(args.name))
+    report = campaign_report(run, markdown=True)
+    if args.out:
+        _write(args.out, report + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_campaign_validate(args: argparse.Namespace) -> int:
+    store = CampaignStore(args.dir)
+    names = args.names or store.list_campaigns()
+    failures = 0
+    for name in names:
+        problems = store.validate(name)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"{name}: {problem}", file=sys.stderr)
+            print(f"{name}: INVALID ({len(problems)} problem(s))")
+        else:
+            print(f"{name}: OK")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -180,6 +304,126 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     validate.add_argument("trace")
     validate.set_defaults(func=_cmd_validate)
+
+    campaign = commands.add_parser(
+        "campaign", help="persistent campaign store: run, diff, report"
+    )
+    campaign_commands = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+
+    def _add_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dir",
+            default=DEFAULT_CAMPAIGN_DIR,
+            help=f"campaign store directory (default: {DEFAULT_CAMPAIGN_DIR})",
+        )
+
+    run = campaign_commands.add_parser(
+        "run", help="execute a suite and append it to the store"
+    )
+    _add_dir(run)
+    run.add_argument(
+        "--suite",
+        default="micro",
+        help="suite preset: micro (CI-sized) or full (18 workflows)",
+    )
+    run.add_argument(
+        "--name", default=None, help="campaign name (default: <suite>-NNN)"
+    )
+    run.add_argument(
+        "--config",
+        default="all",
+        help="Table I label or 'all' (default: all four configurations)",
+    )
+    run.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="override every cell's iteration count",
+    )
+    run.add_argument(
+        "--cal-set",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="override a calibration field (repeatable)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each cell and record hotspot tables",
+    )
+    run.add_argument(
+        "--profile-top",
+        type=int,
+        default=None,
+        help="hotspot rows kept per cell (default: 10)",
+    )
+    run.add_argument(
+        "--bench-out",
+        default=None,
+        help="also write the BENCH_campaign.json host-cost record",
+    )
+    run.set_defaults(func=_cmd_campaign_run)
+
+    listing = campaign_commands.add_parser(
+        "list", help="list campaigns in the store"
+    )
+    _add_dir(listing)
+    listing.set_defaults(func=_cmd_campaign_list)
+
+    show = campaign_commands.add_parser(
+        "show", help="print a stored campaign's dashboard"
+    )
+    _add_dir(show)
+    show.add_argument("name")
+    show.add_argument(
+        "--markdown", action="store_true", help="markdown instead of terminal"
+    )
+    show.set_defaults(func=_cmd_campaign_show)
+
+    campaign_diff = campaign_commands.add_parser(
+        "diff", help="regression-diff two stored campaigns"
+    )
+    _add_dir(campaign_diff)
+    campaign_diff.add_argument("campaign_a")
+    campaign_diff.add_argument("campaign_b")
+    campaign_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.02,
+        help="relative makespan drift reported as regression (default: 0.02)",
+    )
+    campaign_diff.add_argument(
+        "--markdown", action="store_true", help="markdown instead of terminal"
+    )
+    campaign_diff.add_argument(
+        "--fail-on",
+        choices=("nothing", "flips", "regressions"),
+        default="flips",
+        help="exit 1 on winner flips (default) or any regression",
+    )
+    campaign_diff.set_defaults(func=_cmd_campaign_diff)
+
+    campaign_report_cmd = campaign_commands.add_parser(
+        "report", help="write a stored campaign's markdown dashboard"
+    )
+    _add_dir(campaign_report_cmd)
+    campaign_report_cmd.add_argument("name")
+    campaign_report_cmd.add_argument(
+        "--out", default=None, help="write to this path instead of stdout"
+    )
+    campaign_report_cmd.set_defaults(func=_cmd_campaign_report)
+
+    campaign_validate = campaign_commands.add_parser(
+        "validate", help="schema-check stored campaigns"
+    )
+    _add_dir(campaign_validate)
+    campaign_validate.add_argument(
+        "names", nargs="*", help="campaign names (default: every campaign)"
+    )
+    campaign_validate.set_defaults(func=_cmd_campaign_validate)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -48,6 +48,7 @@ class NetworkHooks:
         "_probes",
         "_active",
         "_recomputes",
+        "_solver_iterations",
         "_completed",
         "_occupancy",
         "_achieved",
@@ -60,6 +61,7 @@ class NetworkHooks:
         self._probes = probes
         self._active = probes.gauge("flow.active")
         self._recomputes = probes.counter("flow.recomputes")
+        self._solver_iterations = probes.counter("flow.solver_iterations")
         self._completed = probes.counter("flow.completed")
         # Per-resource instrument caches (avoid registry lookups per event).
         self._occupancy: Dict[str, Gauge] = {}
@@ -112,6 +114,11 @@ class NetworkHooks:
             self._resource_gauge(
                 self._model, "resource.rate_model", resource.name
             ).set(now, model)
+
+    def on_solve(self, now: float, iterations: int) -> None:
+        """Called after every rate solve with the fixed-point iteration count."""
+        if iterations > 0:
+            self._solver_iterations.add(now, iterations)
 
     def on_flow_complete(self, now: float, flow: "Flow") -> None:
         """Called when a flow finishes, before rates are recomputed."""

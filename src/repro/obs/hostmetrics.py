@@ -1,0 +1,315 @@
+"""Host-side self-metrics: what a run costs *this* machine.
+
+Everything else in :mod:`repro.obs` is clocked on virtual time and is
+byte-identical across reruns; this module is the one sanctioned wall-clock
+reader outside :mod:`repro.runtime` (enforced by simlint rule SIM109).  It
+measures the simulator itself — wall-clock seconds, peak tracemalloc
+bytes, optional cProfile hotspots — and pairs those with the deterministic
+work counters the engine and flow network already track (events executed,
+rate recomputations, solver iterations), yielding one
+:class:`HostMetrics` record per campaign cell.
+
+The record shape is shared between *simulated* cells (discrete-event runs)
+and *emulated* cells (:mod:`repro.runtime.threaded` wall-clock runs), so a
+campaign store can hold both and a dashboard can compare them in one
+table.  The headline derived rate is ``sim_seconds_per_wall_second`` —
+how much virtual time the simulator produces per second of host time —
+the repo's first recorded performance trajectory (``BENCH_campaign.json``).
+
+Host metrics are *never* part of a deterministic payload: the campaign
+store segregates them under a ``"host"`` key that every diff and
+byte-identity check ignores.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import os
+import pstats
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.capture import Observation
+    from repro.runtime.threaded import RealRunResult
+
+#: Hotspot rows kept per profiled cell.
+PROFILE_TOP_DEFAULT = 10
+
+#: Record-shape marker for discrete-event (virtual-time) runs.
+KIND_SIMULATED = "simulated"
+
+#: Record-shape marker for threaded wall-clock (emulated) runs.
+KIND_EMULATED = "emulated"
+
+
+@dataclass
+class Hotspot:
+    """One aggregated cProfile row (paths reduced to basenames)."""
+
+    function: str
+    calls: int
+    tottime: float
+    cumtime: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "function": self.function,
+            "calls": self.calls,
+            "tottime": self.tottime,
+            "cumtime": self.cumtime,
+        }
+
+
+@dataclass
+class HostMetrics:
+    """Host-side cost of one campaign cell (or one emulated run).
+
+    ``wall_seconds`` and ``peak_tracemalloc_bytes`` come from the host
+    clock and allocator; the event/recompute/solver counters are
+    deterministic simulator totals copied here because they are *cost*
+    signals, not results.  The record deliberately mirrors the same keys
+    for simulated and emulated runs so both kinds live in one store.
+    """
+
+    kind: str
+    wall_seconds: float
+    simulated_seconds: float = 0.0
+    events_executed: float = 0.0
+    timers_scheduled: float = 0.0
+    flow_recomputes: float = 0.0
+    solver_iterations: float = 0.0
+    flows_completed: float = 0.0
+    peak_tracemalloc_bytes: int = 0
+    runs: int = 0
+    hotspots: List[Hotspot] = field(default_factory=list)
+
+    @property
+    def sim_seconds_per_wall_second(self) -> float:
+        """Virtual seconds produced per host second (0 for emulated runs)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.simulated_seconds / self.wall_seconds
+
+    @property
+    def events_per_wall_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_executed / self.wall_seconds
+
+    def as_record(self) -> Dict[str, Any]:
+        """The JSON shape stored under a cell's ``"host"`` key."""
+        record: Dict[str, Any] = {
+            "kind": self.kind,
+            "wall_seconds": self.wall_seconds,
+            "simulated_seconds": self.simulated_seconds,
+            "sim_seconds_per_wall_second": self.sim_seconds_per_wall_second,
+            "events_executed": self.events_executed,
+            "events_per_wall_second": self.events_per_wall_second,
+            "timers_scheduled": self.timers_scheduled,
+            "flow_recomputes": self.flow_recomputes,
+            "solver_iterations": self.solver_iterations,
+            "flows_completed": self.flows_completed,
+            "peak_tracemalloc_bytes": self.peak_tracemalloc_bytes,
+            "runs": self.runs,
+        }
+        if self.hotspots:
+            record["hotspots"] = [spot.as_dict() for spot in self.hotspots]
+        return record
+
+
+class HostMeter:
+    """Context manager measuring the host cost of a block of work.
+
+    Wraps wall clock + tracemalloc (and optionally cProfile) around
+    whatever runs inside the ``with`` block::
+
+        with HostMeter(profile=True) as meter:
+            observations = [observe_workflow(spec, c) for c in configs]
+        metrics = simulated_host_metrics(meter, observations)
+
+    tracemalloc is started only if this meter started it (nesting-safe);
+    the reported peak is reset at entry so each cell sees its own
+    high-water mark.
+    """
+
+    def __init__(self, profile: bool = False, profile_top: int = PROFILE_TOP_DEFAULT):
+        self.profile = profile
+        self.profile_top = profile_top
+        self.wall_seconds: float = 0.0
+        self.peak_tracemalloc_bytes: int = 0
+        self._profiler: Optional[cProfile.Profile] = None
+        self._started_tracemalloc = False
+        self._t0: float = 0.0
+        self._entered = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "HostMeter":
+        if self._entered:
+            raise SimulationError("HostMeter is not reentrant")
+        self._entered = True
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        tracemalloc.reset_peak()
+        if self.profile:
+            self._profiler = cProfile.Profile()
+            self._profiler.enable()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.wall_seconds = time.perf_counter() - self._t0
+        if self._profiler is not None:
+            self._profiler.disable()
+        _, self.peak_tracemalloc_bytes = tracemalloc.get_traced_memory()
+        if self._started_tracemalloc:
+            tracemalloc.stop()
+        self._entered = False
+
+    # ------------------------------------------------------------------
+    def hotspots(self, top: Optional[int] = None) -> List[Hotspot]:
+        """Top-N profile rows by cumulative time (empty when not profiling)."""
+        if self._profiler is None:
+            return []
+        stats = pstats.Stats(self._profiler, stream=io.StringIO())
+        rows: List[Hotspot] = []
+        for (filename, lineno, name), (
+            _cc,
+            ncalls,
+            tottime,
+            cumtime,
+            _callers,
+        ) in stats.stats.items():  # type: ignore[attr-defined]
+            rows.append(
+                Hotspot(
+                    function=_function_label(filename, lineno, name),
+                    calls=ncalls,
+                    tottime=tottime,
+                    cumtime=cumtime,
+                )
+            )
+        rows.sort(key=lambda spot: (-spot.cumtime, spot.function))
+        return rows[: top if top is not None else self.profile_top]
+
+
+def _function_label(filename: str, lineno: int, name: str) -> str:
+    """``basename:lineno(name)`` — host-path-independent hotspot identity."""
+    base = os.path.basename(filename) if filename not in ("~", "") else "<builtin>"
+    return f"{base}:{lineno}({name})"
+
+
+# ----------------------------------------------------------------------
+# Building records from measured work.
+# ----------------------------------------------------------------------
+def simulated_host_metrics(
+    meter: HostMeter, observations: Sequence["Observation"]
+) -> HostMetrics:
+    """Combine a meter's host readings with the observed runs' work counters."""
+    simulated = 0.0
+    events = timers = recomputes = solver = completed = 0.0
+    for observation in observations:
+        if observation.result is not None:
+            simulated += observation.result.makespan
+        probes = observation.probes
+        events += probes.counter_total("engine.events_executed")
+        timers += probes.counter_total("engine.timers_scheduled")
+        recomputes += probes.counter_total("flow.recomputes")
+        solver += probes.counter_total("flow.solver_iterations")
+        completed += probes.counter_total("flow.completed")
+    return HostMetrics(
+        kind=KIND_SIMULATED,
+        wall_seconds=meter.wall_seconds,
+        simulated_seconds=simulated,
+        events_executed=events,
+        timers_scheduled=timers,
+        flow_recomputes=recomputes,
+        solver_iterations=solver,
+        flows_completed=completed,
+        peak_tracemalloc_bytes=meter.peak_tracemalloc_bytes,
+        runs=len(observations),
+        hotspots=meter.hotspots(),
+    )
+
+
+def threaded_host_metrics(result: "RealRunResult") -> HostMetrics:
+    """The same record shape for a :mod:`repro.runtime.threaded` run.
+
+    Emulated runs have no virtual clock and no flow network, so the
+    simulator counters are zero; the wall-clock fields carry the real
+    measurement.  This is what makes emulated and simulated runs
+    comparable rows in one campaign store.
+    """
+    return HostMetrics(
+        kind=KIND_EMULATED,
+        wall_seconds=result.makespan_seconds,
+        runs=1,
+    )
+
+
+def aggregate_host_metrics(metrics: Iterable[HostMetrics]) -> HostMetrics:
+    """Campaign-level rollup: sums of costs, merged hotspot table."""
+    total = HostMetrics(kind=KIND_SIMULATED, wall_seconds=0.0)
+    kinds = set()
+    merged: Dict[str, Hotspot] = {}
+    for item in metrics:
+        kinds.add(item.kind)
+        total.wall_seconds += item.wall_seconds
+        total.simulated_seconds += item.simulated_seconds
+        total.events_executed += item.events_executed
+        total.timers_scheduled += item.timers_scheduled
+        total.flow_recomputes += item.flow_recomputes
+        total.solver_iterations += item.solver_iterations
+        total.flows_completed += item.flows_completed
+        total.peak_tracemalloc_bytes = max(
+            total.peak_tracemalloc_bytes, item.peak_tracemalloc_bytes
+        )
+        total.runs += item.runs
+        for spot in item.hotspots:
+            seen = merged.get(spot.function)
+            if seen is None:
+                merged[spot.function] = Hotspot(
+                    spot.function, spot.calls, spot.tottime, spot.cumtime
+                )
+            else:
+                seen.calls += spot.calls
+                seen.tottime += spot.tottime
+                seen.cumtime += spot.cumtime
+    if len(kinds) == 1:
+        total.kind = kinds.pop()
+    elif kinds:
+        total.kind = "mixed"
+    total.hotspots = sorted(
+        merged.values(), key=lambda spot: (-spot.cumtime, spot.function)
+    )[:PROFILE_TOP_DEFAULT]
+    return total
+
+
+def host_metrics_from_record(record: Dict[str, Any]) -> HostMetrics:
+    """Rehydrate a stored ``"host"`` record (hotspots included)."""
+    return HostMetrics(
+        kind=record.get("kind", KIND_SIMULATED),
+        wall_seconds=record.get("wall_seconds", 0.0),
+        simulated_seconds=record.get("simulated_seconds", 0.0),
+        events_executed=record.get("events_executed", 0.0),
+        timers_scheduled=record.get("timers_scheduled", 0.0),
+        flow_recomputes=record.get("flow_recomputes", 0.0),
+        solver_iterations=record.get("solver_iterations", 0.0),
+        flows_completed=record.get("flows_completed", 0.0),
+        peak_tracemalloc_bytes=record.get("peak_tracemalloc_bytes", 0),
+        runs=record.get("runs", 0),
+        hotspots=[
+            Hotspot(
+                function=spot["function"],
+                calls=spot["calls"],
+                tottime=spot["tottime"],
+                cumtime=spot["cumtime"],
+            )
+            for spot in record.get("hotspots", [])
+        ],
+    )

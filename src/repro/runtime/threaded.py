@@ -49,6 +49,17 @@ class RealRunResult:
     def ok(self) -> bool:
         return not self.errors
 
+    def host_record(self) -> Dict[str, Any]:
+        """This run in the campaign store's ``"host"`` record shape.
+
+        Emulated (wall-clock) runs and simulated cells share one record
+        layout, so both can live in a single campaign store; see
+        :func:`repro.obs.hostmetrics.threaded_host_metrics`.
+        """
+        from repro.obs.hostmetrics import threaded_host_metrics
+
+        return threaded_host_metrics(self).as_record()
+
 
 class ThreadedWorkflow:
     """Execute real callables under a Table I scheduling configuration.

@@ -73,6 +73,10 @@ class Engine:
         self.events_executed: int = 0
         #: Cancelled timers discarded while popping the heap.
         self.timers_cancelled_skipped: int = 0
+        #: High-water mark of the event queue (includes cancelled timers
+        #: still awaiting their pop) — the engine's memory pressure signal,
+        #: tracked unconditionally because it is one compare per push.
+        self.peak_queue_depth: int = 0
         #: Optional observability adapter (see :mod:`repro.obs.hooks`);
         #: ``None`` keeps the hot loop branch-cheap when not observing.
         self.hooks: Optional[Any] = None
@@ -97,6 +101,8 @@ class Engine:
         timer = Timer(self._now + delay, callback)
         self._seq += 1
         heapq.heappush(self._queue, (timer.time, self._seq, timer))
+        if len(self._queue) > self.peak_queue_depth:
+            self.peak_queue_depth = len(self._queue)
         return timer
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Timer:

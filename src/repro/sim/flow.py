@@ -320,11 +320,26 @@ def solve_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
     set — exposed at module level so tests and the analytic cross-check can
     call it without an engine.
     """
+    rates, _ = solve_rates_counted(flows)
+    return rates
+
+
+def solve_rates_counted(
+    flows: Sequence[Flow],
+) -> Tuple[Dict[Flow, float], int]:
+    """:func:`solve_rates` plus the number of fixed-point iterations used.
+
+    The iteration count is the solver's own cost signal — the campaign
+    host-metrics layer aggregates it per run to track how hard the model
+    works as workload shape and calibration evolve.
+    """
     if not flows:
-        return {}
+        return {}, 0
     duties: Dict[Flow, float] = {f: f.duty for f in flows}
     rates: Dict[Flow, float] = {f: 0.0 for f in flows}
+    iterations = 0
     for _ in range(DUTY_ITERATIONS):
+        iterations += 1
         loads = _build_loads(flows, duties)
         max_rel_change = 0.0
         for f in flows:
@@ -357,7 +372,7 @@ def solve_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
             break
     for f in flows:
         f.duty = duties[f]
-    return rates
+    return rates, iterations
 
 
 class FlowNetwork:
@@ -373,6 +388,8 @@ class FlowNetwork:
         self._flows: List[Flow] = []
         self._last_update: float = 0.0
         self.recompute_count: int = 0
+        self.flows_completed: int = 0
+        self.solver_iterations: int = 0
         self._observed_resources: set = set()
         #: Optional observability adapter (see :mod:`repro.obs.hooks`);
         #: ``None`` keeps the solver path free of instrumentation cost.
@@ -422,7 +439,8 @@ class FlowNetwork:
     def _recompute(self) -> None:
         """Resolve rates for the current flow set and reschedule completions."""
         self.recompute_count += 1
-        rates = solve_rates(self._flows)
+        rates, iterations = solve_rates_counted(self._flows)
+        self.solver_iterations += iterations
         # Let stateful resources (congestion EWMAs) see the converged load;
         # resources that just went idle observe an explicitly empty load so
         # their state can decay.
@@ -435,6 +453,7 @@ class FlowNetwork:
         self._observed_resources = set(loads)
         if self.hooks is not None:
             self.hooks.on_recompute(self.engine.now, self._flows, loads)
+            self.hooks.on_solve(self.engine.now, iterations)
         for flow in self._flows:
             flow.rate = rates[flow]
             if flow._timer is not None:
@@ -462,6 +481,7 @@ class FlowNetwork:
             flow.remaining = 0.0
             flow.rate = 0.0
             self._flows.remove(flow)
+            self.flows_completed += 1
             if self.hooks is not None:
                 self.hooks.on_flow_complete(self.engine.now, flow)
             flow.done.succeed(flow)

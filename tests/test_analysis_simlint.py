@@ -237,6 +237,66 @@ class TestSIM108TraceRecordAppend:
         )
 
 
+class TestSIM109StrayHostClock:
+    SNIPPET = "import time\ndef f():\n    return time.perf_counter()"
+
+    def test_analysis_zone_flagged(self):
+        # The analysis package is SIM101-exempt but still not a sanctioned
+        # host-clock reader.
+        assert "SIM109" in codes(
+            self.SNIPPET,
+            module="repro.analysis.fixture",
+            path="src/repro/analysis/fixture.py",
+        )
+
+    def test_time_time_also_flagged(self):
+        assert "SIM109" in codes(
+            "import time\nstamp = time.time()",
+            module="repro.analysis.fixture",
+            path="src/repro/analysis/fixture.py",
+        )
+
+    def test_hostmetrics_module_sanctioned(self):
+        assert (
+            codes(
+                self.SNIPPET,
+                module="repro.obs.hostmetrics",
+                path="src/repro/obs/hostmetrics.py",
+            )
+            == []
+        )
+
+    def test_path_prefixed_hostmetrics_sanctioned(self):
+        # Linting from the repo root yields path-derived module names.
+        assert (
+            codes(
+                self.SNIPPET,
+                module="src.repro.obs.hostmetrics",
+                path="/somewhere/src/repro/obs/hostmetrics.py",
+            )
+            == []
+        )
+
+    def test_runtime_package_sanctioned(self):
+        assert (
+            codes(
+                self.SNIPPET,
+                module="repro.runtime.threaded",
+                path="src/repro/runtime/threaded.py",
+            )
+            == []
+        )
+
+    def test_other_obs_modules_still_sim101(self):
+        # The rest of repro.obs stays in the wall-clock zone: a stray
+        # perf_counter in the exporter is SIM101, not SIM109.
+        assert "SIM101" in codes(
+            self.SNIPPET,
+            module="repro.obs.export",
+            path="src/repro/obs/export.py",
+        )
+
+
 class TestSuppression:
     def test_noqa_with_code_suppresses(self):
         assert codes("CHUNK = 4096  # noqa: SIM106") == []

@@ -23,6 +23,7 @@ from repro.apps.suite import (
     CONCURRENCY_LEVELS,
     FAMILIES,
     PAPER_EXPECTATIONS,
+    build_workflow,
     suite_entry,
     workflow_suite,
 )
@@ -129,3 +130,44 @@ class TestSuite:
     def test_filtered_suite(self):
         entries = workflow_suite(families=("micro-2k",), ranks=(8, 24))
         assert [e.spec.name for e in entries] == ["micro-2k@8", "micro-2k@24"]
+
+
+class TestBuildWorkflow:
+    def test_matches_suite_entries(self):
+        # The shared constructor and the suite produce the same specs: one
+        # (family, ranks) cell always means the same workflow everywhere.
+        for family in FAMILIES:
+            for ranks in CONCURRENCY_LEVELS:
+                assert build_workflow(family, ranks) == suite_entry(
+                    family, ranks
+                ).spec
+
+    def test_iterations_override(self):
+        spec = build_workflow("micro-2k", 8, iterations=3)
+        assert spec.iterations == 3
+
+    def test_non_positive_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_workflow("micro-2k", 8, iterations=0)
+
+    def test_matmul_dim_scales_miniamr_compute(self):
+        small = build_workflow("miniamr+matmult", 8, matmul_dim=10)
+        large = build_workflow("miniamr+matmult", 8, matmul_dim=20)
+        # 2*dim^3 FLOPs per multiply: doubling dim is 8x the compute.
+        ratio = (
+            large.analytics_compute.seconds_per_object
+            / small.analytics_compute.seconds_per_object
+        )
+        assert ratio == pytest.approx(8.0)
+
+    def test_matmul_dim_ignored_by_other_families(self):
+        assert build_workflow("gtc+readonly", 8, matmul_dim=99) == build_workflow(
+            "gtc+readonly", 8
+        )
+
+    def test_stack_propagates(self):
+        assert build_workflow("micro-2k", 8, stack_name="novafs").stack_name == "novafs"
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_workflow("lammps", 8)

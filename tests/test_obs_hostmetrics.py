@@ -1,0 +1,152 @@
+"""Host-side self-metrics: the meter, profiling, and record-shape parity."""
+
+import pytest
+
+from repro.core.configs import S_LOCW
+from repro.errors import SimulationError
+from repro.obs.capture import observe_workflow
+from repro.obs.hostmetrics import (
+    KIND_EMULATED,
+    KIND_SIMULATED,
+    HostMeter,
+    HostMetrics,
+    Hotspot,
+    aggregate_host_metrics,
+    host_metrics_from_record,
+    simulated_host_metrics,
+    threaded_host_metrics,
+)
+from repro.apps.suite import build_workflow
+from repro.runtime.threaded import RealRunResult
+
+
+def tiny_observation():
+    return observe_workflow(build_workflow("micro-2k", 8, iterations=1), S_LOCW)
+
+
+class TestHostMeter:
+    def test_measures_wall_time_and_memory(self):
+        with HostMeter() as meter:
+            blob = [bytes(64 * 1024) for _ in range(8)]
+        assert meter.wall_seconds > 0
+        assert meter.peak_tracemalloc_bytes > 0
+        assert blob  # keep the allocation alive through the block
+
+    def test_not_reentrant(self):
+        meter = HostMeter()
+        with meter:
+            with pytest.raises(SimulationError):
+                meter.__enter__()
+
+    def test_no_hotspots_without_profiling(self):
+        with HostMeter() as meter:
+            pass
+        assert meter.hotspots() == []
+
+    def test_profiling_captures_hotspots(self):
+        with HostMeter(profile=True, profile_top=5) as meter:
+            tiny_observation()
+        spots = meter.hotspots()
+        assert 0 < len(spots) <= 5
+        # Sorted by cumulative time, labelled host-path-independently.
+        assert spots[0].cumtime >= spots[-1].cumtime
+        assert all("(" in spot.function for spot in spots)
+        assert all("/" not in spot.function for spot in spots)
+
+
+class TestSimulatedMetrics:
+    def test_combines_meter_and_probe_counters(self):
+        with HostMeter() as meter:
+            observation = tiny_observation()
+        metrics = simulated_host_metrics(meter, [observation])
+        assert metrics.kind == KIND_SIMULATED
+        assert metrics.runs == 1
+        assert metrics.simulated_seconds == observation.result.makespan
+        assert metrics.events_executed > 0
+        assert metrics.flow_recomputes > 0
+        assert metrics.solver_iterations > 0
+        assert metrics.sim_seconds_per_wall_second > 0
+        assert metrics.events_per_wall_second > 0
+
+    def test_record_round_trip(self):
+        with HostMeter(profile=True) as meter:
+            observation = tiny_observation()
+        metrics = simulated_host_metrics(meter, [observation])
+        loaded = host_metrics_from_record(metrics.as_record())
+        assert loaded.kind == metrics.kind
+        assert loaded.wall_seconds == metrics.wall_seconds
+        assert loaded.events_executed == metrics.events_executed
+        assert [s.function for s in loaded.hotspots] == [
+            s.function for s in metrics.hotspots
+        ]
+
+
+class TestThreadedParity:
+    def result(self):
+        return RealRunResult(
+            config_label="P-LocR",
+            makespan_seconds=1.25,
+            writer_seconds=0.75,
+            reader_seconds=1.25,
+            iterations_completed=2,
+        )
+
+    def test_same_record_keys_as_simulated(self):
+        with HostMeter() as meter:
+            observation = tiny_observation()
+        simulated = simulated_host_metrics(meter, [observation]).as_record()
+        emulated = threaded_host_metrics(self.result()).as_record()
+        assert set(simulated) == set(emulated)
+
+    def test_emulated_values(self):
+        metrics = threaded_host_metrics(self.result())
+        assert metrics.kind == KIND_EMULATED
+        assert metrics.wall_seconds == 1.25
+        assert metrics.runs == 1
+        assert metrics.sim_seconds_per_wall_second == 0.0
+
+    def test_host_record_method_on_result(self):
+        record = self.result().host_record()
+        assert record["kind"] == KIND_EMULATED
+        assert record["wall_seconds"] == 1.25
+
+
+class TestAggregate:
+    def test_sums_and_peak(self):
+        a = HostMetrics(
+            kind=KIND_SIMULATED,
+            wall_seconds=1.0,
+            simulated_seconds=10.0,
+            events_executed=100,
+            peak_tracemalloc_bytes=500,
+            runs=4,
+            hotspots=[Hotspot("f.py:1(f)", 2, 0.1, 0.4)],
+        )
+        b = HostMetrics(
+            kind=KIND_SIMULATED,
+            wall_seconds=3.0,
+            simulated_seconds=30.0,
+            events_executed=300,
+            peak_tracemalloc_bytes=200,
+            runs=4,
+            hotspots=[Hotspot("f.py:1(f)", 1, 0.2, 0.3)],
+        )
+        total = aggregate_host_metrics([a, b])
+        assert total.kind == KIND_SIMULATED
+        assert total.wall_seconds == 4.0
+        assert total.simulated_seconds == 40.0
+        assert total.events_executed == 400
+        assert total.peak_tracemalloc_bytes == 500  # max, not sum
+        assert total.runs == 8
+        merged = total.hotspots[0]
+        assert (merged.calls, merged.tottime, merged.cumtime) == (3, 0.30000000000000004, 0.7)
+
+    def test_mixed_kinds(self):
+        a = HostMetrics(kind=KIND_SIMULATED, wall_seconds=1.0)
+        b = HostMetrics(kind=KIND_EMULATED, wall_seconds=1.0)
+        assert aggregate_host_metrics([a, b]).kind == "mixed"
+
+    def test_zero_wall_rates_are_zero(self):
+        metrics = HostMetrics(kind=KIND_SIMULATED, wall_seconds=0.0)
+        assert metrics.sim_seconds_per_wall_second == 0.0
+        assert metrics.events_per_wall_second == 0.0

@@ -47,6 +47,16 @@ class TestScheduling:
         engine.run()
         assert seen == []
 
+    def test_peak_queue_depth_tracked(self):
+        engine = Engine()
+        assert engine.peak_queue_depth == 0
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda: None)
+        assert engine.peak_queue_depth == 5
+        engine.run()
+        # The high-water mark persists after the queue drains.
+        assert engine.peak_queue_depth == 5
+
     def test_cancel_is_idempotent(self):
         timer = Engine().schedule(1.0, lambda: None)
         timer.cancel()

@@ -8,7 +8,13 @@ from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.sim.engine import Engine
-from repro.sim.flow import CapacityResource, Flow, FlowNetwork, solve_rates
+from repro.sim.flow import (
+    CapacityResource,
+    Flow,
+    FlowNetwork,
+    solve_rates,
+    solve_rates_counted,
+)
 
 
 def fixed_resource(capacity, name="r"):
@@ -56,6 +62,16 @@ class TestSolveRates:
         rates = solve_rates(flows)
         for flow in flows:
             assert rates[flow] == pytest.approx(3.0)
+
+    def test_counted_variant_matches_and_reports_iterations(self):
+        r = fixed_resource(12.0)
+        flows = [make_flow(resources=[r]) for _ in range(4)]
+        rates, iterations = solve_rates_counted(flows)
+        assert rates == solve_rates(flows)
+        assert iterations >= 1
+
+    def test_counted_variant_zero_iterations_for_no_flows(self):
+        assert solve_rates_counted([]) == ({}, 0)
 
     def test_harmonic_combination_solo(self):
         # self cap == device capacity => achieved rate is half of either.
@@ -180,6 +196,20 @@ class TestFlowNetwork:
         assert finish_times["a"] == pytest.approx(9.0)
         # b: 40 bytes at 5/s (while a is active) + 10 at 10/s => 1+8+1 = 10s.
         assert finish_times["b"] == pytest.approx(10.0)
+
+    def test_work_counters_accumulate(self):
+        engine = Engine()
+        net = FlowNetwork(engine)
+        r = fixed_resource(10.0)
+
+        def body(nbytes):
+            yield net.transfer(make_flow(nbytes=nbytes, resources=[r]))
+
+        engine.spawn(body(50.0), name="a")
+        engine.spawn(body(30.0), name="b")
+        engine.run()
+        assert net.flows_completed == 2
+        assert net.solver_iterations >= 2
 
     def test_active_flows_tracked(self):
         engine = Engine()

@@ -1,46 +1,161 @@
-"""Focused sweep on contested panels."""
-import itertools, sys
-import repro.apps.analytics as an
-from repro.apps.suite import workflow_suite, suite_entry
-from repro.core.autotune import ExhaustiveTuner
-from repro.pmem.calibration import OptaneCalibration
+"""Calibration grid sweeps over the contested suite panels.
 
-PANELS = [("micro-2k",8),("micro-2k",16),("gtc+readonly",8),("gtc+readonly",16),
-          ("gtc+matmult",16),("gtc+matmult",24),
-          ("miniamr+readonly",8),("miniamr+readonly",16),("miniamr+readonly",24),
-          ("miniamr+matmult",8),("miniamr+matmult",16),("miniamr+matmult",24)]
+Consolidates the old ``sweep.py`` / ``sweep2.py`` ad-hoc scripts into one
+argparse CLI driven by the campaign runner (:mod:`repro.obs.campaign`), so
+every sweep point is a real campaign cell: same workflow construction
+(:func:`repro.apps.suite.build_workflow`), same winner rule, and — with
+``--record`` — a persistent campaign per grid point that ``python -m
+repro.obs campaign diff`` can compare afterwards.
 
-import repro.workflow.kernels as K
-from repro.apps.miniamr import miniamr_workflow, MINIAMR_OBJECTS_PER_RANK
-from repro.apps.analytics import read_only_kernel, gtc_matrixmult_kernel
-from repro.apps.gtc import gtc_workflow
-from repro.apps.microbench import micro_workflow, SMALL_OBJECT_BYTES
+Examples::
 
-def build(family, ranks, mm_dim):
-    if family == "micro-2k":
-        return micro_workflow(SMALL_OBJECT_BYTES, ranks)
-    if family == "gtc+readonly":
-        return gtc_workflow(read_only_kernel(), ranks=ranks)
-    if family == "gtc+matmult":
-        return gtc_workflow(gtc_matrixmult_kernel(), ranks=ranks)
-    if family == "miniamr+readonly":
-        return miniamr_workflow(read_only_kernel(), ranks=ranks)
-    if family == "miniamr+matmult":
-        k = K.PerObjectKernel(objects=MINIAMR_OBJECTS_PER_RANK,
-                              seconds_per_object=5*2.0*mm_dim**3/4.0e9)
-        return miniamr_workflow(k, ranks=ranks)
+    # The old sweep.py grid: write-mix gamma x poll interference x dim.
+    python tools/sweep.py \
+        --grid mix_gamma_write=1.2,1.6,2.0 \
+        --grid poll_interference_weight=0.2,0.3 \
+        --matmul-dim 13,16
+
+    # The old sweep2.py grid, persisted for later diffing.
+    python tools/sweep.py \
+        --grid mix_remote_read_boost=0.6,0.9,1.2 \
+        --grid mix_write_sat_exponent=2.0,3.0 \
+        --matmul-dim 10,12,14 --record campaigns-sweep
+
+    # Quick single-point check on two panels.
+    python tools/sweep.py --panels micro-2k@8 gtc+readonly@16
+"""
+
+import argparse
+import itertools
+import sys
+from typing import Dict, List, Sequence, Tuple
 
 from repro.apps.suite import PAPER_EXPECTATIONS
+from repro.obs.campaign import parse_cell_key, run_campaign
+from repro.obs.store import CampaignStore
+from repro.pmem.calibration import DEFAULT_CALIBRATION
 
-for gw, pw, dim in itertools.product((1.2, 1.6, 2.0), (0.2, 0.3), (13, 16)):
-    cal = OptaneCalibration().replace(mix_gamma_write=gw, poll_interference_weight=pw)
-    tuner = ExhaustiveTuner(cal=cal)
-    hits = 0; misses = []
-    for fam, ranks in PANELS:
-        spec = build(fam, ranks, dim)
-        rep = tuner.tune(spec)
-        win = rep.comparison.best_label
-        want = PAPER_EXPECTATIONS[(fam, ranks)][0]
-        if win == want: hits += 1
-        else: misses.append(f"{fam}@{ranks}:{win}!={want}")
-    print(f"gw={gw} pw={pw} dim={dim}: {hits}/{len(PANELS)}  misses: {', '.join(misses)}")
+#: The panels that were hardest to reproduce — the historical sweep targets.
+DEFAULT_PANELS: Tuple[str, ...] = (
+    "micro-64mb@8",
+    "micro-2k@8",
+    "micro-2k@16",
+    "micro-2k@24",
+    "gtc+readonly@8",
+    "gtc+readonly@16",
+    "gtc+matmult@16",
+    "gtc+matmult@24",
+    "miniamr+readonly@8",
+    "miniamr+readonly@16",
+    "miniamr+readonly@24",
+    "miniamr+matmult@8",
+    "miniamr+matmult@16",
+    "miniamr+matmult@24",
+)
+
+
+def parse_grid(entries: Sequence[str]) -> List[Dict[str, float]]:
+    """``field=v1,v2`` entries -> the list of calibration override points."""
+    axes: List[Tuple[str, List[float]]] = []
+    for entry in entries:
+        field, _, values = entry.partition("=")
+        if not field or not values:
+            raise SystemExit(f"--grid wants field=v1,v2,..., got {entry!r}")
+        try:
+            axes.append((field, [float(v) for v in values.split(",")]))
+        except ValueError:
+            raise SystemExit(f"--grid values in {entry!r} must be numbers")
+    if not axes:
+        return [{}]
+    return [
+        dict(zip([field for field, _ in axes], point))
+        for point in itertools.product(*[values for _, values in axes])
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Grid-sweep calibration overrides over contested panels."
+    )
+    parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="FIELD=V1,V2,...",
+        help="calibration axis (repeatable; the sweep is the cross product)",
+    )
+    parser.add_argument(
+        "--matmul-dim",
+        default=None,
+        metavar="D1,D2,...",
+        help="miniAMR MatrixMult dimensions to sweep (extra grid axis)",
+    )
+    parser.add_argument(
+        "--panels",
+        nargs="+",
+        default=list(DEFAULT_PANELS),
+        metavar="FAMILY@RANKS",
+        help="suite cells to evaluate (default: the contested panels)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="override every panel's iteration count (smaller = faster)",
+    )
+    parser.add_argument(
+        "--record",
+        default=None,
+        metavar="DIR",
+        help="persist one campaign per grid point into this store directory",
+    )
+    args = parser.parse_args(argv)
+
+    cells = [parse_cell_key(panel) for panel in args.panels]
+    for family, ranks in cells:
+        if (family, ranks) not in PAPER_EXPECTATIONS:
+            raise SystemExit(f"no paper expectation for panel {family}@{ranks}")
+    dims = (
+        [int(d) for d in args.matmul_dim.split(",")]
+        if args.matmul_dim
+        else [None]
+    )
+    points = parse_grid(args.grid)
+    store = CampaignStore(args.record) if args.record else None
+
+    best = (-1, "")
+    for changes in points:
+        cal = DEFAULT_CALIBRATION.replace(**changes) if changes else DEFAULT_CALIBRATION
+        for dim in dims:
+            run = run_campaign(
+                suite="sweep",
+                cells=cells,
+                store=store,
+                cal=cal,
+                iterations=args.iterations,
+                matmul_dim=dim,
+            )
+            hits, expected = run.hit_rate
+            misses = [
+                f"{cell.key}:{cell.winner}!={cell.paper_best}"
+                for cell in run.cells
+                if cell.paper_hit is False
+            ]
+            point = " ".join(f"{k}={v}" for k, v in changes.items()) or "default"
+            if dim is not None:
+                point += f" dim={dim}"
+            recorded = f"  [{run.name}]" if store else ""
+            print(
+                f"{point}: {hits}/{expected}  misses: {', '.join(misses)}"
+                f"{recorded}",
+                flush=True,
+            )
+            if hits > best[0]:
+                best = (hits, point)
+    if len(points) * len(dims) > 1:
+        print(f"best point: {best[1]} ({best[0]}/{len(cells)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
