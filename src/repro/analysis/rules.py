@@ -135,6 +135,13 @@ SIM109 = register(
     "repro.obs.hostmetrics or repro.runtime so host cost stays out of "
     "deterministic payloads",
 )
+SIM110 = register(
+    "SIM110",
+    "host-concurrency-import",
+    "multiprocessing / concurrent.futures / threading / signal import "
+    "outside repro.service and repro.runtime; host concurrency anywhere "
+    "else lets scheduling nondeterminism leak into simulator code",
+)
 
 # ---------------------------------------------------------------------------
 # SPEC2xx — workflow-spec validation (repro.analysis.validate).

@@ -44,6 +44,13 @@ happens to compare equal today — so this pass walks the source with
     host clock; anywhere else, a stray wall-clock read is how
     non-determinism leaks into payloads that are supposed to be
     byte-identical.
+``SIM110``
+    Host-concurrency imports (``multiprocessing``, ``concurrent.futures``,
+    ``threading``, ``signal``, ``_thread``) outside :mod:`repro.service`
+    (the worker pool and its CLI) and :mod:`repro.runtime` (the threaded
+    executor).  The simulator is single-threaded by construction; a
+    worker pool spun up inside model code would make event order depend
+    on host scheduling.
 
 A finding can be suppressed with a ``# noqa`` or ``# noqa: SIM103`` comment
 on the offending line — but the default state of the tree is zero
@@ -65,15 +72,30 @@ from repro.units import KB, KiB
 # (errors.py, units.py) use their stem.
 # ---------------------------------------------------------------------------
 #: Packages exempt from the virtual-time rules: the threaded runtime really
-#: runs on the wall clock, and the analysis tooling is not simulator code.
-WALLCLOCK_EXEMPT_PACKAGES: Set[str] = {"runtime", "analysis"}
+#: runs on the wall clock, the scheduling service manages host processes,
+#: and the analysis tooling is not simulator code.
+WALLCLOCK_EXEMPT_PACKAGES: Set[str] = {"runtime", "analysis", "service"}
 
 #: The sanctioned wall-clock readers (SIM109): the real threaded executor,
-#: and the host self-metrics module feeding the campaign store.  Everything
-#: else — including the rest of :mod:`repro.obs` and the SIM101-exempt
-#: analysis tooling — must not read the host clock.
-HOST_CLOCK_ALLOWED_PACKAGES: Set[str] = {"runtime"}
+#: the scheduling service (queue deadlines, retry backoff, cache-lookup
+#: timing), and the host self-metrics module feeding the campaign store.
+#: Everything else — including the rest of :mod:`repro.obs` and the
+#: SIM101-exempt analysis tooling — must not read the host clock.
+HOST_CLOCK_ALLOWED_PACKAGES: Set[str] = {"runtime", "service"}
 HOST_CLOCK_ALLOWED_MODULES: Set[str] = {"repro.obs.hostmetrics"}
+
+#: Where host-concurrency imports are sanctioned (SIM110): the service's
+#: worker pool / signal handling, and the real threaded executor.
+CONCURRENCY_ALLOWED_PACKAGES: Set[str] = {"service", "runtime"}
+
+#: Import roots that mean host concurrency (SIM110).
+_CONCURRENCY_MODULES: Set[str] = {
+    "multiprocessing",
+    "concurrent",
+    "threading",
+    "_thread",
+    "signal",
+}
 
 #: Packages whose code runs inside (or builds state for) simulated
 #: processes, where blocking I/O is always a bug.
@@ -272,11 +294,30 @@ class _Linter(ast.NodeVisitor):
     # -- imports -----------------------------------------------------------
     def visit_Import(self, node: ast.Import) -> None:
         self.imports.add_import(node)
+        for alias in node.names:
+            self._check_concurrency_import(node, alias.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         self.imports.add_import_from(node)
+        if node.module is not None and not node.level:
+            self._check_concurrency_import(node, node.module)
         self.generic_visit(node)
+
+    def _check_concurrency_import(self, node: ast.AST, module: str) -> None:
+        # SIM110: host-concurrency modules outside the sanctioned packages.
+        if self.package in CONCURRENCY_ALLOWED_PACKAGES:
+            return
+        root = module.split(".")[0]
+        if root in _CONCURRENCY_MODULES:
+            self._emit(
+                "SIM110",
+                node,
+                f"host-concurrency import {module!r} outside "
+                "repro.service/repro.runtime",
+                "route parallelism through repro.service.pool.WorkerPool "
+                "(or move the code into repro.runtime)",
+            )
 
     # -- SIM101 / SIM102 / SIM105: calls -----------------------------------
     def visit_Call(self, node: ast.Call) -> None:

@@ -10,7 +10,7 @@ could run offline when a workflow falls outside the recommendation rules).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from repro.core.configs import ALL_CONFIGS, SchedulerConfig
 from repro.errors import ConfigurationError
@@ -19,6 +19,9 @@ from repro.metrics.results import RunResult
 from repro.pmem.calibration import DEFAULT_CALIBRATION, OptaneCalibration
 from repro.workflow.runner import run_workflow
 from repro.workflow.spec import WorkflowSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.cache import ResultCache
 
 
 @dataclass(frozen=True)
@@ -56,26 +59,70 @@ class TuningReport:
 
 
 class ExhaustiveTuner:
-    """Run a workflow under every configuration and pick the fastest."""
+    """Run a workflow under every configuration and pick the fastest.
+
+    With a :class:`~repro.service.cache.ResultCache` attached, ``tune()``
+    first looks the workflow up by its content id — a hit rebuilds the
+    per-config results from the stored cell without simulating anything,
+    and a miss populates the cache for the next caller.  ``jobs > 1``
+    evaluates the configurations in parallel worker processes.  Tracing
+    needs live tracer objects, so ``trace=True`` always takes the direct
+    serial path (no cache, no pool).
+    """
 
     def __init__(
         self,
         cal: OptaneCalibration = DEFAULT_CALIBRATION,
         configs: Sequence[SchedulerConfig] = ALL_CONFIGS,
         trace: bool = False,
+        cache: Optional["ResultCache"] = None,
+        jobs: int = 1,
     ) -> None:
         if not configs:
             raise ConfigurationError("tuner needs at least one configuration")
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.cal = cal
         self.configs = tuple(configs)
         self.trace = trace
+        self.cache = cache
+        self.jobs = jobs
 
     def tune(self, spec: WorkflowSpec) -> TuningReport:
         """Evaluate *spec* under every configuration."""
+        if not self.trace and (self.cache is not None or self.jobs > 1):
+            return self._tune_via_cell(spec)
         results = [
             run_workflow(spec, config, cal=self.cal, trace=self.trace)
             for config in self.configs
         ]
         return TuningReport(
             workflow_name=spec.name, comparison=compare_configs(results)
+        )
+
+    def _tune_via_cell(self, spec: WorkflowSpec) -> TuningReport:
+        """Cache-aware / parallel path through the campaign cell machinery."""
+        from repro.obs.campaign import results_from_cell_payload, run_spec_cell
+
+        if self.cache is not None:
+            from repro.service.cache import cell_id_for_spec
+
+            cached = self.cache.get(cell_id_for_spec(spec, self.configs, self.cal))
+            if cached is not None:
+                return TuningReport(
+                    workflow_name=spec.name,
+                    comparison=compare_configs(
+                        results_from_cell_payload(cached.deterministic)
+                    ),
+                )
+        cell = run_spec_cell(
+            spec, configs=self.configs, cal=self.cal, jobs=self.jobs
+        )
+        if self.cache is not None:
+            self.cache.put(cell.stored())
+        return TuningReport(
+            workflow_name=spec.name,
+            comparison=compare_configs(
+                results_from_cell_payload(cell.deterministic)
+            ),
         )

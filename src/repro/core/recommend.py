@@ -22,7 +22,7 @@ engine is validated against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import Optional, Set, Tuple
 
 from repro.core.configs import P_LOCR, P_LOCW, S_LOCR, S_LOCW, SchedulerConfig
 from repro.core.features import (
@@ -48,6 +48,29 @@ class Recommendation:
     reason: str
     features: WorkflowFeatures
     matched_rule: Optional[int] = None  # Table II row number, when applicable
+
+
+@dataclass(frozen=True)
+class PlacementEstimates:
+    """The §VIII serial-runtime estimates under each channel placement.
+
+    These are the cost model's placement prices, exposed on their own
+    because they double as a *predicted makespan* — which is what lets the
+    service scheduler order jobs shortest-predicted-first without running
+    anything.
+    """
+
+    t_locw_seconds: float
+    t_locr_seconds: float
+
+    @property
+    def local_write_preferred(self) -> bool:
+        return self.t_locw_seconds <= self.t_locr_seconds
+
+    @property
+    def best_seconds(self) -> float:
+        """The cheaper placement's serial estimate (a makespan proxy)."""
+        return min(self.t_locw_seconds, self.t_locr_seconds)
 
 
 # ---------------------------------------------------------------------------
@@ -320,20 +343,43 @@ class RecommendationEngine:
         return None
 
     # ------------------------------------------------------------------
+    def placement_estimates(self, f: WorkflowFeatures) -> PlacementEstimates:
+        """Serial-runtime estimate under each placement (§VIII pricing).
+
+        Total runtime if the two components ran serially, from the
+        analytic local/remote standalone profiles.
+        """
+        iters = f.iterations
+        return PlacementEstimates(
+            t_locw_seconds=iters
+            * (
+                f.sim_profile.iteration_seconds
+                + f.analytics_remote_profile.iteration_seconds
+            ),
+            t_locr_seconds=iters
+            * (
+                f.sim_remote_profile.iteration_seconds
+                + f.analytics_profile.iteration_seconds
+            ),
+        )
+
+    def estimate_makespan(self, spec: WorkflowSpec) -> float:
+        """Predicted makespan of *spec* under its best placement (seconds).
+
+        A static price, not a simulation — used by the service scheduler
+        for shortest-predicted-job-first ordering.
+        """
+        return self.placement_estimates(
+            extract_features(spec, self.cal)
+        ).best_seconds
+
     def _model_recommendation(self, f: WorkflowFeatures) -> Recommendation:
         """Quantified §VIII logic: price placement, then execution mode."""
         iters = f.iterations
-        # Placement: total serial runtime under each placement, from the
-        # analytic local/remote standalone profiles.
-        t_locw = iters * (
-            f.sim_profile.iteration_seconds
-            + f.analytics_remote_profile.iteration_seconds
-        )
-        t_locr = iters * (
-            f.sim_remote_profile.iteration_seconds
-            + f.analytics_profile.iteration_seconds
-        )
-        if t_locw <= t_locr:
+        estimates = self.placement_estimates(f)
+        t_locw = estimates.t_locw_seconds
+        t_locr = estimates.t_locr_seconds
+        if estimates.local_write_preferred:
             local_write = True
             writer_profile = f.sim_profile
             reader_profile = f.analytics_remote_profile

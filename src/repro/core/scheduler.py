@@ -16,13 +16,15 @@ scheduler:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.cache import ResultCache
 
 from repro.core.autotune import ExhaustiveTuner, TuningReport
 from repro.core.configs import SchedulerConfig
 from repro.core.pinning import PinningPlan, plan_pinning
 from repro.core.recommend import Recommendation, RecommendationEngine
-from repro.errors import ConfigurationError
 from repro.metrics.results import RunResult
 from repro.platform.builder import paper_testbed
 from repro.platform.topology import Node
@@ -63,12 +65,20 @@ class WorkflowScheduler:
         to exhaustively tune every workflow.
     cal:
         Device calibration shared by recommendation and execution.
+    cache:
+        Optional :class:`repro.service.cache.ResultCache`; oracle tuning is
+        then served from (and populates) the service's content-addressed
+        store instead of re-simulating known workflows.
+    jobs:
+        Worker processes for oracle tuning (1 = in-process serial).
     """
 
     def __init__(
         self,
         strategy: str = "hybrid",
         cal: OptaneCalibration = DEFAULT_CALIBRATION,
+        cache: Optional["ResultCache"] = None,
+        jobs: int = 1,
     ) -> None:
         self.cal = cal
         self.strategy = strategy
@@ -76,7 +86,7 @@ class WorkflowScheduler:
             self._engine: Optional[RecommendationEngine] = None
         else:
             self._engine = RecommendationEngine(strategy=strategy, cal=cal)
-        self._tuner = ExhaustiveTuner(cal=cal)
+        self._tuner = ExhaustiveTuner(cal=cal, cache=cache, jobs=jobs)
 
     # ------------------------------------------------------------------
     def recommend(self, spec: WorkflowSpec) -> Recommendation:

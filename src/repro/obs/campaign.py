@@ -178,6 +178,8 @@ def _config_payload(observation: Observation) -> Dict[str, Any]:
         "makespan": result.makespan,
         "writer_runtime": result.writer_runtime,
         "reader_runtime": result.reader_runtime,
+        "writer_span": list(result.writer_span),
+        "reader_span": list(result.reader_span),
         "bytes_written": result.bytes_written,
         "bytes_read": result.bytes_read,
         "phases": {
@@ -196,6 +198,162 @@ def _config_payload(observation: Observation) -> Dict[str, Any]:
         },
         "manifest": manifest_determinism_payload(observation.manifest.as_dict()),
     }
+
+
+def results_from_config_payloads(
+    workflow_name: str, config_payloads: Dict[str, Dict[str, Any]]
+) -> List["Any"]:
+    """Rebuild :class:`~repro.metrics.results.RunResult` objects from the
+    stored per-config payloads (in payload order).
+
+    This is the inverse of :func:`_config_payload` for the fields a
+    :class:`~repro.core.autotune.TuningReport` needs — what lets the
+    exhaustive tuner serve ``tune()`` straight from the service cache.
+    """
+    from repro.metrics.results import PhaseBreakdown, RunResult
+
+    results = []
+    for label, entry in config_payloads.items():
+        try:
+            results.append(
+                RunResult(
+                    workflow_name=workflow_name,
+                    config_label=label,
+                    makespan=entry["makespan"],
+                    writer_span=tuple(entry["writer_span"]),
+                    reader_span=tuple(entry["reader_span"]),
+                    writer_phases=PhaseBreakdown(**entry["phases"]["writer"]),
+                    reader_phases=PhaseBreakdown(**entry["phases"]["reader"]),
+                    bytes_written=entry["bytes_written"],
+                    bytes_read=entry["bytes_read"],
+                )
+            )
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"config payload {label!r} is missing {exc} — cached cells "
+                "written before span fields were recorded cannot be "
+                "rehydrated; clear the cache and re-run"
+            ) from None
+    return results
+
+
+def results_from_cell_payload(deterministic: Dict[str, Any]) -> List["Any"]:
+    """Rebuild the per-config run results of one stored cell payload."""
+    return results_from_config_payloads(
+        deterministic.get("workflow", deterministic.get("family", "?")),
+        deterministic.get("configs", {}),
+    )
+
+
+def _assemble_cell(
+    spec: WorkflowSpec,
+    family: str,
+    ranks: int,
+    cal: OptaneCalibration,
+    config_payloads: Dict[str, Dict[str, Any]],
+    manifests: List[Dict[str, Any]],
+    host: HostMetrics,
+) -> CellResult:
+    """Build a :class:`CellResult` from per-config slices (any origin)."""
+    winner = best_config(results_from_config_payloads(spec.name, config_payloads))
+    expectation = PAPER_EXPECTATIONS.get((family, ranks))
+    deterministic: Dict[str, Any] = {
+        "family": family,
+        "ranks": ranks,
+        "workflow": spec.name,
+        "iterations": spec.iterations,
+        "stack": spec.stack_name,
+        "calibration_sha256": calibration_hash(cal),
+        "configs": config_payloads,
+        "winner": winner,
+        "paper_best": expectation[0] if expectation else None,
+        "figure": expectation[1] if expectation else None,
+        "paper_hit": (winner == expectation[0]) if expectation else None,
+    }
+    provenance = {key: manifests[0][key] for key in PROVENANCE_FIELDS}
+    return CellResult(
+        key=cell_key(family, ranks),
+        family=family,
+        ranks=ranks,
+        cell_id=cell_id_from_manifests(manifests),
+        deterministic=deterministic,
+        host=host,
+        provenance=provenance,
+    )
+
+
+def run_spec_cell(
+    spec: WorkflowSpec,
+    configs: Sequence[SchedulerConfig] = ALL_CONFIGS,
+    cal: OptaneCalibration = DEFAULT_CALIBRATION,
+    family: Optional[str] = None,
+    ranks: Optional[int] = None,
+    profile: bool = False,
+    profile_top: Optional[int] = None,
+    jobs: int = 1,
+) -> CellResult:
+    """Execute one cell for an already-built spec (suite member or not).
+
+    ``family``/``ranks`` default to the spec's own name and rank count —
+    pass the suite coordinate when the spec came from
+    :func:`~repro.apps.suite.build_workflow` so paper expectations attach.
+    With ``jobs > 1`` the configurations are evaluated in parallel worker
+    processes (the deterministic payload is byte-identical either way).
+    """
+    if not configs:
+        raise ConfigurationError("a campaign cell needs at least one config")
+    family = family if family is not None else spec.name
+    ranks = ranks if ranks is not None else spec.ranks
+    if jobs > 1 and not profile:
+        from repro.service.pool import TaskSpec, WorkerPool
+        from repro.service.tasks import execute_config
+
+        pool = WorkerPool(execute_config, jobs=jobs)
+        outcomes = pool.run(
+            [
+                TaskSpec(
+                    task_id=config.label,
+                    payload={"spec": spec, "config": config, "cal": cal},
+                )
+                for config in configs
+            ]
+        )
+        failed = [o for o in outcomes if not o.ok]
+        if failed:
+            raise ConfigurationError(
+                f"{len(failed)} config worker(s) failed for {spec.name}: "
+                f"{failed[0].error}"
+            )
+        slices = [o.result for o in outcomes]
+        return _assemble_cell(
+            spec,
+            family,
+            ranks,
+            cal,
+            config_payloads={s["config"]: s["payload"] for s in slices},
+            manifests=[s["manifest"] for s in slices],
+            host=aggregate_host_metrics(
+                host_metrics_from_record(s["host"]) for s in slices
+            ),
+        )
+    meter_kwargs: Dict[str, Any] = {"profile": profile}
+    if profile_top is not None:
+        meter_kwargs["profile_top"] = profile_top
+    with HostMeter(**meter_kwargs) as meter:
+        observations = [
+            observe_workflow(spec, config, cal=cal) for config in configs
+        ]
+    return _assemble_cell(
+        spec,
+        family,
+        ranks,
+        cal,
+        config_payloads={
+            obs.manifest.config: _config_payload(obs) for obs in observations
+        },
+        manifests=[obs.manifest.as_dict() for obs in observations],
+        host=simulated_host_metrics(meter, observations),
+    )
 
 
 def run_cell(
@@ -219,41 +377,28 @@ def run_cell(
         iterations=iterations,
         matmul_dim=matmul_dim,
     )
-    meter_kwargs: Dict[str, Any] = {"profile": profile}
-    if profile_top is not None:
-        meter_kwargs["profile_top"] = profile_top
-    with HostMeter(**meter_kwargs) as meter:
-        observations = [
-            observe_workflow(spec, config, cal=cal) for config in configs
-        ]
-    results = [observation.result for observation in observations]
-    winner = best_config(results)
-    expectation = PAPER_EXPECTATIONS.get((family, ranks))
-    manifests = [obs.manifest.as_dict() for obs in observations]
-    deterministic: Dict[str, Any] = {
-        "family": family,
-        "ranks": ranks,
-        "workflow": spec.name,
-        "iterations": spec.iterations,
-        "stack": spec.stack_name,
-        "calibration_sha256": calibration_hash(cal),
-        "configs": {
-            obs.manifest.config: _config_payload(obs) for obs in observations
-        },
-        "winner": winner,
-        "paper_best": expectation[0] if expectation else None,
-        "figure": expectation[1] if expectation else None,
-        "paper_hit": (winner == expectation[0]) if expectation else None,
-    }
-    provenance = {key: manifests[0][key] for key in PROVENANCE_FIELDS}
-    return CellResult(
-        key=cell_key(family, ranks),
+    return run_spec_cell(
+        spec,
+        configs=configs,
+        cal=cal,
         family=family,
         ranks=ranks,
-        cell_id=cell_id_from_manifests(manifests),
-        deterministic=deterministic,
-        host=simulated_host_metrics(meter, observations),
-        provenance=provenance,
+        profile=profile,
+        profile_top=profile_top,
+    )
+
+
+def _progress_line(cell: CellResult) -> str:
+    return (
+        f"{cell.key}: winner {cell.winner}"
+        + (
+            f" (paper {cell.paper_best}, "
+            + ("hit" if cell.paper_hit else "MISS")
+            + ")"
+            if cell.paper_best
+            else ""
+        )
+        + f"  [{cell.host.wall_seconds:.2f}s host]"
     )
 
 
@@ -270,15 +415,25 @@ def run_campaign(
     profile: bool = False,
     profile_top: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> CampaignRun:
     """Run a whole campaign, optionally persisting it into *store*.
 
     ``suite`` picks a :data:`SUITE_PRESETS` entry; ``cells`` overrides the
     preset's cell list (for sweeps), ``iterations`` its iteration count.
-    With a store, the campaign is created up front (header first) and each
-    cell is appended as it completes, so a crashed campaign keeps its
-    finished prefix.  Returns the in-memory :class:`CampaignRun` either way.
+    With ``jobs > 1`` cells are executed in parallel worker processes
+    (via :mod:`repro.service`).
+
+    Persistence is order-independent: cell ids are content hashes computed
+    *before* running (from the run manifests), and cells are stored sorted
+    by cell id — so the stored deterministic payload is byte-identical
+    whatever order workers finish in, and identical to a serial run.  With
+    a store and ``jobs=1`` each cell is appended as it completes (in cell-id
+    order), so a crashed campaign keeps its finished prefix.  Returns the
+    in-memory :class:`CampaignRun` (cells in cell-id order) either way.
     """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     preset = SUITE_PRESETS.get(suite)
     if preset is None and cells is None:
         raise ConfigurationError(
@@ -306,33 +461,68 @@ def run_campaign(
             },
         )
     run = CampaignRun(name=name or f"{suite}-unsaved", suite=suite)
-    for family, ranks in chosen_cells:
-        cell = run_cell(
+    # Pre-compute every cell's content id (manifests only, no simulation)
+    # and fix the storage order up front: sorted by cell id.
+    from repro.service.cache import cell_id_for_spec
+
+    cell_kwargs = dict(
+        stack_name=stack_name,
+        iterations=chosen_iterations,
+        matmul_dim=matmul_dim,
+    )
+    planned = sorted(
+        (
+            cell_id_for_spec(
+                build_workflow(family, ranks, **cell_kwargs), configs, cal
+            ),
             family,
             ranks,
-            configs=configs,
-            cal=cal,
-            iterations=chosen_iterations,
-            stack_name=stack_name,
-            matmul_dim=matmul_dim,
-            profile=profile,
-            profile_top=profile_top,
         )
+        for family, ranks in chosen_cells
+    )
+    run_cell_kwargs = dict(
+        configs=tuple(configs),
+        cal=cal,
+        profile=profile,
+        profile_top=profile_top,
+        **cell_kwargs,
+    )
+    if jobs > 1:
+        from repro.service.pool import TaskSpec, WorkerPool
+        from repro.service.tasks import execute_cell
+
+        pool = WorkerPool(execute_cell, jobs=jobs)
+        outcomes = pool.run(
+            [
+                TaskSpec(
+                    task_id=cell_id,
+                    payload=dict(family=family, ranks=ranks, **run_cell_kwargs),
+                )
+                for cell_id, family, ranks in planned
+            ]
+        )
+        failed = [o for o in outcomes if not o.ok]
+        if failed:
+            raise ConfigurationError(
+                f"{len(failed)} campaign worker(s) failed: {failed[0].error}"
+            )
+        # Completion order is nondeterministic; storage order is not.
+        run.cells.extend(
+            sorted((o.result for o in outcomes), key=lambda c: c.cell_id)
+        )
+        for cell in run.cells:
+            if store is not None:
+                store.append_cell(name, cell.stored())
+            if progress is not None:
+                progress(_progress_line(cell))
+        return run
+    for _cell_id, family, ranks in planned:
+        cell = run_cell(family, ranks, **run_cell_kwargs)
         run.cells.append(cell)
         if store is not None:
             store.append_cell(name, cell.stored())
         if progress is not None:
-            progress(
-                f"{cell.key}: winner {cell.winner}"
-                + (
-                    f" (paper {cell.paper_best}, "
-                    + ("hit" if cell.paper_hit else "MISS")
-                    + ")"
-                    if cell.paper_best
-                    else ""
-                )
-                + f"  [{cell.host.wall_seconds:.2f}s host]"
-            )
+            progress(_progress_line(cell))
     return run
 
 

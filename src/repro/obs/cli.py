@@ -179,6 +179,7 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         profile=args.profile,
         profile_top=args.profile_top,
+        jobs=args.jobs,
         progress=print,
     )
     print(f"recorded campaign {run.name!r} in {store.path(run.name)}")
@@ -364,6 +365,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--bench-out",
         default=None,
         help="also write the BENCH_campaign.json host-cost record",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="execute cells in N worker processes (default 1 = serial; "
+        "the stored file is byte-identical either way)",
     )
     run.set_defaults(func=_cmd_campaign_run)
 

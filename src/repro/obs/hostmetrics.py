@@ -47,6 +47,10 @@ KIND_SIMULATED = "simulated"
 #: Record-shape marker for threaded wall-clock (emulated) runs.
 KIND_EMULATED = "emulated"
 
+#: Record-shape marker for service cache hits: nothing was simulated, the
+#: wall cost is the cache lookup itself.
+KIND_CACHED = "cached"
+
 
 @dataclass
 class Hotspot:
@@ -234,6 +238,21 @@ def simulated_host_metrics(
         peak_tracemalloc_bytes=meter.peak_tracemalloc_bytes,
         runs=len(observations),
         hotspots=meter.hotspots(),
+    )
+
+
+def cached_host_metrics(wall_seconds: float, simulated_seconds: float = 0.0) -> HostMetrics:
+    """The record for a service cache hit: a lookup, not a simulation.
+
+    ``simulated_seconds`` may carry the *cached* run's virtual total so
+    dashboards can still report how much simulation the hit avoided; the
+    zero event/solver counters make clear no engine ran.
+    """
+    return HostMetrics(
+        kind=KIND_CACHED,
+        wall_seconds=wall_seconds,
+        simulated_seconds=simulated_seconds,
+        runs=0,
     )
 
 

@@ -1,0 +1,331 @@
+"""``python -m repro.service`` / ``repro-service`` — the service CLI.
+
+Subcommands::
+
+    submit   put suite cells (or experiments) on the persistent queue
+    run      one service pass: cache, schedule, execute, record
+    status   queue counts, per-job states, cache and campaign summary
+    drain    requeue stale running jobs, then fail everything queued
+    cache    list / validate / clear the content-addressed result cache
+
+A typical campaign rerun::
+
+    repro-service submit --suite micro
+    repro-service run --jobs 2 --report-out report.json
+    repro-service submit --suite micro      # same cells again
+    repro-service run --jobs 2             # 100% cache hits, no simulation
+
+``run`` installs a SIGINT handler: the first Ctrl-C drains gracefully
+(running cells finish, nothing new starts, queued jobs stay queued), a
+second one interrupts as usual.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import signal
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.service.cache import ResultCache
+from repro.service.queue import DEFAULT_SERVICE_DIR, JobQueue
+from repro.service.scheduler import (
+    RESULTS_CAMPAIGN,
+    ServiceScheduler,
+)
+
+
+def _add_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dir",
+        default=DEFAULT_SERVICE_DIR,
+        help=f"service state directory (default: {DEFAULT_SERVICE_DIR!r})",
+    )
+
+
+def _calibration_fields(settings: List[str]) -> Optional[Dict[str, float]]:
+    """``--cal-set field=value`` overrides -> a full calibration payload."""
+    if not settings:
+        return None
+    from repro.pmem.calibration import DEFAULT_CALIBRATION
+
+    changes: Dict[str, float] = {}
+    for setting in settings:
+        name, _, value = setting.partition("=")
+        if not name or not value:
+            raise SystemExit(f"--cal-set wants field=value, got {setting!r}")
+        try:
+            changes[name] = float(value)
+        except ValueError:
+            raise SystemExit(f"--cal-set value {value!r} is not a number")
+    return dataclasses.asdict(DEFAULT_CALIBRATION.replace(**changes))
+
+
+# ----------------------------------------------------------------------
+# Subcommands.
+# ----------------------------------------------------------------------
+def _cmd_submit(args: argparse.Namespace) -> int:
+    scheduler = ServiceScheduler(root=args.dir)
+    jobs = []
+    if args.experiment:
+        jobs += scheduler.submit_experiments(
+            args.experiment,
+            max_retries=args.max_retries,
+            timeout_seconds=args.timeout,
+            deadline_seconds=args.deadline,
+        )
+    else:
+        jobs += scheduler.submit_suite(
+            suite=args.suite,
+            configs=args.config or None,
+            iterations=args.iterations,
+            matmul_dim=args.matmul_dim,
+            calibration=_calibration_fields(args.cal_set),
+            max_retries=args.max_retries,
+            timeout_seconds=args.timeout,
+            deadline_seconds=args.deadline,
+        )
+    for job in jobs:
+        cached = " [cached]" if job.cell_id and job.cell_id in scheduler.cache else ""
+        print(f"submitted {job.job_id} ({job.kind}){cached}")
+    print(f"{len(jobs)} job(s) queued in {scheduler.queue.path}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scheduler = ServiceScheduler(
+        root=args.dir,
+        strategy=args.strategy,
+        jobs=args.jobs,
+        backoff_seconds=args.backoff,
+    )
+    stop_requested = {"flag": False}
+
+    def _on_sigint(signum: int, frame: Any) -> None:
+        if stop_requested["flag"]:
+            raise KeyboardInterrupt
+        stop_requested["flag"] = True
+        print(
+            "[drain requested: running cells finish, nothing new starts; "
+            "Ctrl-C again to interrupt]",
+            file=sys.stderr,
+        )
+
+    previous = signal.signal(signal.SIGINT, _on_sigint)
+    try:
+        report = scheduler.run(
+            should_stop=lambda: stop_requested["flag"], progress=print
+        )
+    finally:
+        signal.signal(signal.SIGINT, previous)
+    print(report.render_text())
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report.as_record(), handle, indent=1, sort_keys=True)
+        print(f"[report -> {args.report_out}]")
+    return 1 if report.failed else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    queue = JobQueue(args.dir)
+    cache = ResultCache(args.dir)
+    scheduler = ServiceScheduler(root=args.dir)
+    campaign_cells = (
+        len(scheduler.store.read(RESULTS_CAMPAIGN).cells)
+        if scheduler.store.exists(RESULTS_CAMPAIGN)
+        else 0
+    )
+    jobs = queue.load()
+    if args.json:
+        payload = {
+            "record": "service_status",
+            "counts": queue.counts(),
+            "cache_entries": len(cache.list_ids()),
+            "campaign_cells": campaign_cells,
+            "jobs": [
+                {
+                    "job_id": job.job_id,
+                    "kind": job.kind,
+                    "state": job.state,
+                    "attempts": job.attempts,
+                    "max_retries": job.max_retries,
+                    "cell_id": job.cell_id,
+                    "cached": bool(job.cell_id and job.cell_id in cache),
+                    "detail": job.detail,
+                }
+                for job in jobs
+            ],
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    counts = queue.counts()
+    print(
+        "queue: "
+        + ", ".join(f"{count} {state}" for state, count in counts.items())
+    )
+    for job in jobs:
+        cached = " [cached]" if job.cell_id and job.cell_id in cache else ""
+        print(
+            f"  {job.job_id}  {job.kind:<10}  {job.state:<7} "
+            f"attempts={job.attempts}/{job.max_retries + 1}{cached}"
+        )
+    print(f"cache: {len(cache.list_ids())} entr(ies) under {cache.root}")
+    print(
+        f"campaign {RESULTS_CAMPAIGN!r}: {campaign_cells} cell(s) under "
+        f"{scheduler.store.root}"
+    )
+    return 0
+
+
+def _cmd_drain(args: argparse.Namespace) -> int:
+    queue = JobQueue(args.dir)
+    drained = queue.drain()
+    print(f"drained {len(drained)} job(s) from {queue.path}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cache entr(ies)")
+        return 0
+    if args.validate:
+        problems = cache.validate()
+        for problem in problems:
+            print(problem)
+        print(
+            f"{len(cache.list_ids())} entr(ies): "
+            + ("OK" if not problems else f"{len(problems)} problem(s)")
+        )
+        return 1 if problems else 0
+    for cell_id in cache.list_ids():
+        entry = cache.get(cell_id)
+        print(f"{cell_id}  {entry.key if entry else '?'}")
+    print(f"{len(cache.list_ids())} entr(ies) under {cache.root}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser.
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Balsam-style scheduling service for the reproduction: "
+        "persistent job queue, parallel workers, content-addressed cache.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser("submit", help="queue suite cells or experiments")
+    _add_dir(submit)
+    submit.add_argument(
+        "--suite", default="micro", help="suite preset (micro, full)"
+    )
+    submit.add_argument(
+        "--config",
+        action="append",
+        default=[],
+        help="restrict to a Table I label (repeatable; default all four)",
+    )
+    submit.add_argument(
+        "--iterations", type=int, default=None, help="iteration override"
+    )
+    submit.add_argument(
+        "--matmul-dim", type=int, default=None, help="MatrixMult dimension"
+    )
+    submit.add_argument(
+        "--cal-set",
+        action="append",
+        default=[],
+        metavar="FIELD=VALUE",
+        help="override a calibration field (repeatable)",
+    )
+    submit.add_argument(
+        "--experiment",
+        action="append",
+        default=[],
+        help="submit a repro-experiments id instead of suite cells "
+        "(repeatable)",
+    )
+    submit.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="attempts after the first failure (default 2)",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job wall-clock timeout in seconds",
+    )
+    submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="fail the job if still queued after this many seconds",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    run = sub.add_parser("run", help="one service pass over the queue")
+    _add_dir(run)
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, no multiprocessing)",
+    )
+    run.add_argument(
+        "--strategy",
+        default="hybrid",
+        choices=("table2", "model", "hybrid"),
+        help="recommendation strategy for ordering and regret",
+    )
+    run.add_argument(
+        "--backoff",
+        type=float,
+        default=0.1,
+        help="base seconds of the exponential retry backoff",
+    )
+    run.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="write the run report as JSON (the CI status artifact)",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    status = sub.add_parser("status", help="queue / cache / campaign summary")
+    _add_dir(status)
+    status.add_argument("--json", action="store_true", help="JSON output")
+    status.set_defaults(func=_cmd_status)
+
+    drain = sub.add_parser("drain", help="fail everything still queued")
+    _add_dir(drain)
+    drain.set_defaults(func=_cmd_drain)
+
+    cache = sub.add_parser("cache", help="inspect the result cache")
+    _add_dir(cache)
+    cache.add_argument("--clear", action="store_true", help="delete entries")
+    cache.add_argument(
+        "--validate", action="store_true", help="schema-check entries"
+    )
+    cache.set_defaults(func=_cmd_cache)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,528 @@
+"""The service loop: queue -> cache -> recommendation-ordered worker pool.
+
+One :meth:`ServiceScheduler.run` pass is the Balsam "service cycle":
+
+1. **recover** — stale ``running`` jobs (a previous service crashed) go
+   back to ``queued``; jobs past their deadline are failed;
+2. **serve from cache** — each cell job's content id (known at submit
+   time) is looked up in the :class:`~repro.service.cache.ResultCache`;
+   hits complete without simulating anything and report a
+   ``kind="cached"`` host record;
+3. **order the misses** — remaining cell jobs are sorted
+   shortest-predicted-first using
+   :meth:`repro.core.recommend.RecommendationEngine.estimate_makespan`
+   (the §VIII placement prices double as makespan predictions);
+4. **execute** — the :class:`~repro.service.pool.WorkerPool` runs the
+   misses with per-job timeouts; failed attempts are retried through the
+   queue with exponential backoff until each job's budget runs out;
+5. **record** — fresh results go into the cache, and every completed cell
+   (hit or fresh) is appended — sorted by cell id, so the file is
+   byte-independent of completion order — to the ``results`` campaign
+   under ``service/campaigns/``.  Each cell's transition detail records
+   the recommendation's regret vs the measured winner.
+
+Experiment jobs (``repro-experiments --service``) ride steps 1/4 only:
+their outputs are reports, not content-addressed cells.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.recommend import RecommendationEngine
+from repro.obs.store import CampaignStore, StoredCell
+from repro.pmem.calibration import DEFAULT_CALIBRATION, OptaneCalibration
+from repro.service.cache import ResultCache, cell_id_for_spec
+from repro.service.pool import STATUS_SKIPPED, TaskSpec, WorkerPool
+from repro.service.queue import (
+    DEFAULT_SERVICE_DIR,
+    KIND_CELL,
+    KIND_EXPERIMENT,
+    STATE_QUEUED,
+    Job,
+    JobQueue,
+)
+from repro.service.tasks import (
+    cell_kwargs_from_json,
+    execute_cell_record,
+    execute_experiment,
+)
+
+#: The campaign (under ``<root>/campaigns/``) service results accumulate in.
+RESULTS_CAMPAIGN = "results"
+
+#: Base of the exponential between-retry-round backoff.
+DEFAULT_BACKOFF_SECONDS = 0.1
+
+
+@dataclass
+class ServiceRunReport:
+    """Everything one service pass did (the ``status`` artifact's core)."""
+
+    jobs: int
+    strategy: str
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    experiments: int = 0
+    failed: int = 0
+    skipped: int = 0
+    retried: int = 0
+    expired: int = 0
+    cells_appended: int = 0
+    campaign: str = RESULTS_CAMPAIGN
+    wall_seconds: float = 0.0
+    drained: bool = False
+    regrets: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "record": "service_run",
+            "jobs": self.jobs,
+            "strategy": self.strategy,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "experiments": self.experiments,
+            "failed": self.failed,
+            "skipped": self.skipped,
+            "retried": self.retried,
+            "expired": self.expired,
+            "cells_appended": self.cells_appended,
+            "campaign": self.campaign,
+            "wall_seconds": self.wall_seconds,
+            "drained": self.drained,
+            "regrets": self.regrets,
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"service run: {self.executed} executed, "
+            f"{self.cache_hits} cache hit(s) / {self.cache_misses} miss(es) "
+            f"({self.cache_hit_rate:.0%} hit rate), "
+            f"{self.experiments} experiment(s), {self.failed} failed, "
+            f"{self.retried} retried, {self.skipped} skipped"
+            + (f", {self.expired} expired" if self.expired else "")
+        ]
+        lines.append(
+            f"{self.cells_appended} new cell(s) appended to campaign "
+            f"{self.campaign!r}; {self.wall_seconds:.2f}s wall "
+            f"with --jobs {self.jobs}"
+            + (" (drained early)" if self.drained else "")
+        )
+        for entry in self.regrets:
+            lines.append(
+                f"  {entry['key']}: winner {entry['winner']}, "
+                f"recommended {entry['recommended']} "
+                f"(regret {entry['regret']:+.1%})"
+            )
+        return "\n".join(lines)
+
+
+class ServiceScheduler:
+    """Drives queued jobs through the cache, the pool, and the store."""
+
+    def __init__(
+        self,
+        root: str = DEFAULT_SERVICE_DIR,
+        strategy: str = "hybrid",
+        jobs: int = 1,
+        cal: OptaneCalibration = DEFAULT_CALIBRATION,
+        backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+    ) -> None:
+        self.root = root
+        self.strategy = strategy
+        self.jobs = jobs
+        self.cal = cal
+        self.backoff_seconds = backoff_seconds
+        self.queue = JobQueue(root)
+        self.cache = ResultCache(root)
+        self.store = CampaignStore(os.path.join(root, "campaigns"))
+        self._engine = RecommendationEngine(strategy="hybrid", cal=cal) if (
+            strategy == "oracle"
+        ) else RecommendationEngine(strategy=strategy, cal=cal)
+
+    # -- submission -----------------------------------------------------
+    def submit_suite(
+        self,
+        suite: str = "micro",
+        configs: Optional[List[str]] = None,
+        iterations: Optional[int] = None,
+        stack_name: str = "nvstream",
+        matmul_dim: Optional[int] = None,
+        calibration: Optional[Dict[str, Any]] = None,
+        max_retries: int = 2,
+        timeout_seconds: Optional[float] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> List[Job]:
+        """Submit one cell job per suite coordinate; returns the jobs.
+
+        The cell's content id is computed now (manifests only — nothing is
+        simulated) and stored on the job, so ``status`` can show which jobs
+        are already cached before any run.
+        """
+        from repro.obs.campaign import SUITE_PRESETS
+        from repro.apps.suite import build_workflow
+        from repro.errors import ConfigurationError
+
+        preset = SUITE_PRESETS.get(suite)
+        if preset is None:
+            raise ConfigurationError(
+                f"unknown suite {suite!r}; choices: {sorted(SUITE_PRESETS)}"
+            )
+        chosen_iterations = (
+            iterations if iterations is not None else preset.iterations
+        )
+        deadline_epoch = (
+            time.time() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
+        submitted = []
+        for family, ranks in preset.cells:
+            payload: Dict[str, Any] = {
+                "family": family,
+                "ranks": ranks,
+                "configs": configs,
+                "iterations": chosen_iterations,
+                "stack_name": stack_name,
+                "matmul_dim": matmul_dim,
+                "calibration": calibration,
+                "profile": False,
+            }
+            kwargs = cell_kwargs_from_json(payload)
+            spec = build_workflow(
+                family,
+                ranks,
+                stack_name=stack_name,
+                iterations=chosen_iterations,
+                matmul_dim=matmul_dim,
+            )
+            submitted.append(
+                self.queue.submit(
+                    KIND_CELL,
+                    payload,
+                    max_retries=max_retries,
+                    timeout_seconds=timeout_seconds,
+                    deadline_epoch=deadline_epoch,
+                    cell_id=cell_id_for_spec(
+                        spec, kwargs["configs"], kwargs["cal"]
+                    ),
+                )
+            )
+        return submitted
+
+    def submit_experiments(
+        self,
+        experiment_ids: List[str],
+        max_retries: int = 2,
+        timeout_seconds: Optional[float] = None,
+        deadline_seconds: Optional[float] = None,
+    ) -> List[Job]:
+        """Submit one experiment job per id (``repro-experiments`` names)."""
+        deadline_epoch = (
+            time.time() + deadline_seconds
+            if deadline_seconds is not None
+            else None
+        )
+        return [
+            self.queue.submit(
+                KIND_EXPERIMENT,
+                {"experiment": experiment_id},
+                max_retries=max_retries,
+                timeout_seconds=timeout_seconds,
+                deadline_epoch=deadline_epoch,
+            )
+            for experiment_id in experiment_ids
+        ]
+
+    # -- helpers --------------------------------------------------------
+    def _build_spec(self, job: Job) -> Any:
+        from repro.apps.suite import build_workflow
+
+        kwargs = cell_kwargs_from_json(job.payload)
+        return build_workflow(
+            kwargs["family"],
+            kwargs["ranks"],
+            stack_name=kwargs["stack_name"],
+            iterations=kwargs["iterations"],
+            matmul_dim=kwargs["matmul_dim"],
+        )
+
+    def _cell_id_of(self, job: Job) -> Optional[str]:
+        """The job's content id, or None if the payload cannot produce one.
+
+        A malformed payload must not crash the service pass here — the
+        worker will raise the real error and the retry/fail machinery
+        reports it on the job.
+        """
+        if job.cell_id:
+            return job.cell_id
+        try:
+            kwargs = cell_kwargs_from_json(job.payload)
+            return cell_id_for_spec(
+                self._build_spec(job), kwargs["configs"], kwargs["cal"]
+            )
+        except Exception:
+            return None
+
+    def _predict_seconds(self, job: Job) -> float:
+        """SJF sort key; unpredictable jobs sort last instead of crashing."""
+        try:
+            return self._engine.estimate_makespan(self._build_spec(job))
+        except Exception:
+            return float("inf")
+
+    def _regret_entry(
+        self, job: Job, deterministic: Dict[str, Any]
+    ) -> Optional[Dict[str, Any]]:
+        """Recommendation regret vs the measured winner for one cell."""
+        kwargs = cell_kwargs_from_json(job.payload)
+        try:
+            recommended = self._engine.recommend(self._build_spec(job)).config.label
+        except Exception:
+            return None
+        makespans = {
+            label: entry.get("makespan")
+            for label, entry in deterministic.get("configs", {}).items()
+        }
+        winner = deterministic.get("winner")
+        best = makespans.get(winner)
+        chosen = makespans.get(recommended)
+        if best is None or chosen is None or best <= 0:
+            return None
+        return {
+            "key": f"{kwargs['family']}@{kwargs['ranks']}",
+            "winner": winner,
+            "recommended": recommended,
+            "regret": chosen / best - 1.0,
+        }
+
+    def _persist_cells(self, cells: List[StoredCell]) -> int:
+        """Append new cells — sorted by cell id — to the results campaign.
+
+        The campaign store rejects duplicate cell ids, which is exactly the
+        "zero new deterministic records on a fully-cached rerun" guarantee;
+        already-recorded cells are skipped here rather than errored.
+        """
+        if not cells:
+            return 0
+        if not self.store.exists(RESULTS_CAMPAIGN):
+            self.store.create(RESULTS_CAMPAIGN, {"suite": "service"})
+        existing = {
+            cell.cell_id for cell in self.store.read(RESULTS_CAMPAIGN).cells
+        }
+        appended = 0
+        for cell in sorted(cells, key=lambda cell: cell.cell_id):
+            if cell.cell_id in existing:
+                continue
+            self.store.append_cell(RESULTS_CAMPAIGN, cell)
+            existing.add(cell.cell_id)
+            appended += 1
+        return appended
+
+    # -- the service pass -----------------------------------------------
+    def run(
+        self,
+        should_stop: Optional[Callable[[], bool]] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> ServiceRunReport:
+        """One full service pass over everything currently queued."""
+        say = progress if progress is not None else (lambda message: None)
+        t0 = time.perf_counter()
+        report = ServiceRunReport(jobs=self.jobs, strategy=self.strategy)
+        requeued = self.queue.requeue_stale()
+        if requeued:
+            say(f"requeued {len(requeued)} stale running job(s)")
+        now = time.time()
+        for job in self.queue.queued():
+            if job.deadline_epoch is not None and now > job.deadline_epoch:
+                self.queue.mark_failed(job, {"reason": "deadline expired"})
+                report.expired += 1
+                report.failed += 1
+                say(f"{job.job_id}: deadline expired")
+        queued = self.queue.queued()
+        cell_jobs = [job for job in queued if job.kind == KIND_CELL]
+        exp_jobs = [job for job in queued if job.kind == KIND_EXPERIMENT]
+        completed: List[StoredCell] = []
+
+        # Cache pass: serve hits without touching a worker.
+        misses: List[Job] = []
+        for job in cell_jobs:
+            if should_stop is not None and should_stop():
+                report.drained = True
+                break
+            cell_id = self._cell_id_of(job)
+            lookup_t0 = time.perf_counter()
+            cached = self.cache.get(cell_id) if cell_id is not None else None
+            if cached is None:
+                report.cache_misses += 1
+                misses.append(job)
+                continue
+            report.cache_hits += 1
+            from repro.obs.hostmetrics import cached_host_metrics
+
+            avoided = sum(
+                entry.get("makespan") or 0.0
+                for entry in cached.deterministic.get("configs", {}).values()
+            )
+            host = cached_host_metrics(
+                wall_seconds=time.perf_counter() - lookup_t0,
+                simulated_seconds=avoided,
+            )
+            key = f"{job.payload.get('family')}@{job.payload.get('ranks')}"
+            completed.append(
+                StoredCell(
+                    cell_id=cell_id,
+                    key=key,
+                    deterministic=cached.deterministic,
+                    host=host.as_record(),
+                    provenance=cached.provenance,
+                )
+            )
+            self.queue.claim(job, {"cache": "hit"})
+            regret = self._regret_entry(job, cached.deterministic)
+            if regret is not None:
+                report.regrets.append(regret)
+            self.queue.mark_done(
+                job, {"cache": "hit", "cell_id": cell_id, "regret": regret}
+            )
+            say(f"{job.job_id}: cache hit ({cell_id})")
+
+        # Predicted-best-first: shortest estimated makespan runs first, so
+        # the pool drains the quick cells while the long ones occupy slots.
+        misses.sort(key=self._predict_seconds)
+
+        pool = WorkerPool(execute_cell_record, jobs=self.jobs)
+        attempt_round = 0
+        pending = misses
+        while pending and not report.drained:
+            if should_stop is not None and should_stop():
+                report.drained = True
+                break
+            if attempt_round:
+                time.sleep(
+                    self.backoff_seconds * (2 ** (attempt_round - 1))
+                )
+            by_id: Dict[str, Job] = {}
+            specs: List[TaskSpec] = []
+            for job in pending:
+                self.queue.claim(job, {"round": attempt_round})
+                by_id[job.job_id] = job
+                specs.append(
+                    TaskSpec(
+                        task_id=job.job_id,
+                        payload=job.payload,
+                        timeout_seconds=job.timeout_seconds,
+                    )
+                )
+            outcomes = pool.run(specs, should_stop=should_stop)
+            retry_jobs: List[Job] = []
+            for outcome in outcomes:
+                job = by_id[outcome.task_id]
+                if outcome.ok:
+                    record = outcome.result
+                    cell = StoredCell(
+                        cell_id=record["cell_id"],
+                        key=record["key"],
+                        deterministic=record["deterministic"],
+                        host=record["host"],
+                        provenance=record["provenance"],
+                    )
+                    self.cache.put(cell)
+                    completed.append(cell)
+                    report.executed += 1
+                    regret = self._regret_entry(job, cell.deterministic)
+                    if regret is not None:
+                        report.regrets.append(regret)
+                    self.queue.mark_done(
+                        job,
+                        {
+                            "cache": "miss",
+                            "cell_id": cell.cell_id,
+                            "wall_seconds": outcome.wall_seconds,
+                            "regret": regret,
+                        },
+                    )
+                    say(f"{job.job_id}: {record['key']} done")
+                elif outcome.status == STATUS_SKIPPED:
+                    self.queue.release(job, {"reason": "drained"})
+                    report.skipped += 1
+                    report.drained = True
+                else:
+                    job = self.queue.retry(
+                        job, {"status": outcome.status, "error": outcome.error}
+                    )
+                    if job.state == STATE_QUEUED:
+                        report.retried += 1
+                        retry_jobs.append(job)
+                        say(
+                            f"{job.job_id}: {outcome.status}, retrying "
+                            f"(attempt {job.attempts}/{job.max_retries + 1})"
+                        )
+                    else:
+                        report.failed += 1
+                        say(f"{job.job_id}: failed ({outcome.status})")
+            pending = retry_jobs
+            attempt_round += 1
+
+        # Experiment jobs: pooled, retried, never cached.
+        exp_pool = WorkerPool(execute_experiment, jobs=self.jobs)
+        pending_exp = [] if report.drained else exp_jobs
+        if report.drained and exp_jobs:
+            report.skipped += len(exp_jobs)
+        attempt_round = 0
+        while pending_exp and not report.drained:
+            if should_stop is not None and should_stop():
+                report.drained = True
+                break
+            if attempt_round:
+                time.sleep(self.backoff_seconds * (2 ** (attempt_round - 1)))
+            by_id = {}
+            specs = []
+            for job in pending_exp:
+                self.queue.claim(job, {"round": attempt_round})
+                by_id[job.job_id] = job
+                specs.append(
+                    TaskSpec(
+                        task_id=job.job_id,
+                        payload=job.payload,
+                        timeout_seconds=job.timeout_seconds,
+                    )
+                )
+            outcomes = exp_pool.run(specs, should_stop=should_stop)
+            retry_jobs = []
+            for outcome in outcomes:
+                job = by_id[outcome.task_id]
+                if outcome.ok:
+                    self.queue.mark_done(job, outcome.result)
+                    report.experiments += 1
+                    say(f"{job.job_id}: experiment done")
+                elif outcome.status == STATUS_SKIPPED:
+                    self.queue.release(job, {"reason": "drained"})
+                    report.skipped += 1
+                    report.drained = True
+                else:
+                    job = self.queue.retry(
+                        job, {"status": outcome.status, "error": outcome.error}
+                    )
+                    if job.state == STATE_QUEUED:
+                        report.retried += 1
+                        retry_jobs.append(job)
+                    else:
+                        report.failed += 1
+            pending_exp = retry_jobs
+            attempt_round += 1
+
+        report.cells_appended = self._persist_cells(completed)
+        report.wall_seconds = time.perf_counter() - t0
+        return report

@@ -296,6 +296,68 @@ class TestSIM109StrayHostClock:
             path="src/repro/obs/export.py",
         )
 
+    def test_service_package_sanctioned(self):
+        # The scheduling service reads the host clock legitimately
+        # (deadlines, backoff, cache-lookup timing).
+        assert (
+            codes(
+                self.SNIPPET,
+                module="repro.service.scheduler",
+                path="src/repro/service/scheduler.py",
+            )
+            == []
+        )
+
+
+class TestSIM110ConcurrencyImport:
+    def test_multiprocessing_in_sim_flagged(self):
+        assert "SIM110" in codes("import multiprocessing")
+
+    def test_concurrent_futures_from_import_flagged(self):
+        assert "SIM110" in codes(
+            "from concurrent.futures import ProcessPoolExecutor",
+            module="repro.obs.campaign",
+            path="src/repro/obs/campaign.py",
+        )
+
+    def test_threading_and_signal_flagged(self):
+        assert "SIM110" in codes("import threading")
+        assert "SIM110" in codes(
+            "import signal",
+            module="repro.workflow.runner",
+            path="src/repro/workflow/runner.py",
+        )
+
+    def test_aliased_import_still_flagged(self):
+        assert "SIM110" in codes("import multiprocessing as mp")
+
+    def test_service_package_sanctioned(self):
+        assert (
+            codes(
+                "from concurrent.futures import ProcessPoolExecutor\nimport signal",
+                module="repro.service.pool",
+                path="src/repro/service/pool.py",
+            )
+            == []
+        )
+
+    def test_runtime_package_sanctioned(self):
+        assert (
+            codes(
+                "import threading",
+                module="repro.runtime.threaded",
+                path="src/repro/runtime/threaded.py",
+            )
+            == []
+        )
+
+    def test_similarly_named_modules_not_flagged(self):
+        # Only the concurrency roots count — not arbitrary modules that
+        # merely start with the same letters.
+        assert (
+            codes("import signals_toolkit\nfrom concurrency import x") == []
+        )
+
 
 class TestSuppression:
     def test_noqa_with_code_suppresses(self):
@@ -319,6 +381,8 @@ class TestRegistryAndFiltering:
             "SIM105",
             "SIM106",
             "SIM108",
+            "SIM109",
+            "SIM110",
         ):
             rule = get_rule(code)
             assert rule.code == code
