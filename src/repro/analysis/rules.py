@@ -143,6 +143,14 @@ SIM110 = register(
     "else lets scheduling nondeterminism leak into simulator code",
 )
 
+SIM111 = register(
+    "SIM111",
+    "hotpath-allocation",
+    "dict / ResourceLoad constructed inside a loop of a function marked "
+    "'# simlint: hotpath'; per-iteration allocation churn is exactly what "
+    "the solver fast path exists to avoid — reset objects in place",
+)
+
 # ---------------------------------------------------------------------------
 # SPEC2xx — workflow-spec validation (repro.analysis.validate).
 # ---------------------------------------------------------------------------

@@ -51,6 +51,14 @@ happens to compare equal today — so this pass walks the source with
     executor).  The simulator is single-threaded by construction; a
     worker pool spun up inside model code would make event order depend
     on host scheduling.
+``SIM111``
+    ``dict()`` / ``{...}`` / ``ResourceLoad(...)`` constructed inside a
+    ``for``/``while`` loop of a function marked with a
+    ``# simlint: hotpath`` comment.  Hot solver loops (the flow network's
+    fixed point) run millions of iterations per campaign; per-iteration
+    allocation churn is exactly the cost the fast path removed, and this
+    rule keeps future edits from silently reintroducing it.  Allocate
+    before the loop and reset in place.
 
 A finding can be suppressed with a ``# noqa`` or ``# noqa: SIM103`` comment
 on the offending line — but the default state of the tree is zero
@@ -176,6 +184,14 @@ _TIME_SUFFIXES = ("_seconds", "_time", "_at")
 _POW2_MAGNITUDES: Set[int] = {2**k for k in range(10, 41)}
 _POW10_MAGNITUDES: Set[int] = {10**k for k in range(6, 16)}
 
+#: Marker comment declaring a function allocation-sensitive (SIM111).
+HOTPATH_MARKER = "simlint: hotpath"
+
+#: Constructors that mean heap churn when called per loop iteration in a
+#: hotpath function (SIM111).  ``ResourceLoad`` is matched by terminal
+#: identifier so both plain and module-qualified spellings are caught.
+_HOTPATH_ALLOCATORS: Set[str] = {"dict", "ResourceLoad"}
+
 
 def _package_of(module: str) -> str:
     """First component under ``repro`` ("sim", "runtime", "errors", ...)."""
@@ -266,7 +282,13 @@ def _is_magic_magnitude(value: object) -> bool:
 class _Linter(ast.NodeVisitor):
     """Single-walk visitor dispatching every simlint rule."""
 
-    def __init__(self, path: str, module: str, sink: DiagnosticSink) -> None:
+    def __init__(
+        self,
+        path: str,
+        module: str,
+        sink: DiagnosticSink,
+        hotpath_lines: Optional[Set[int]] = None,
+    ) -> None:
         self.path = path
         self.module = module
         self.package = _package_of(module)
@@ -275,6 +297,7 @@ class _Linter(ast.NodeVisitor):
         self.in_wallclock_zone = self.package not in WALLCLOCK_EXEMPT_PACKAGES
         self.in_blocking_zone = self.package in BLOCKING_IO_PACKAGES
         self.check_units = module.split(".")[-1] not in UNITS_MODULES
+        self.hotpath_lines = hotpath_lines or set()
 
     # -- helpers -----------------------------------------------------------
     def _emit(self, code: str, node: ast.AST, message: str, hint: str) -> None:
@@ -478,11 +501,59 @@ class _Linter(ast.NodeVisitor):
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
         self._check_defaults(node)
+        self._check_hotpath(node)
         self.generic_visit(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
         self._check_defaults(node)
+        self._check_hotpath(node)
         self.generic_visit(node)
+
+    # -- SIM111: allocation churn in marked hot loops ----------------------
+    def _check_hotpath(self, node) -> None:
+        """Flag per-iteration dict/ResourceLoad allocation in marked functions.
+
+        A function is marked by a ``# simlint: hotpath`` comment anywhere in
+        its body (matched against source lines, since comments don't survive
+        into the AST).  Only statements inside ``for``/``while`` loops are
+        flagged — comprehensions and one-shot setup allocations outside
+        loops are fine.
+        """
+        if not self.hotpath_lines:
+            return
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if not any(node.lineno <= line <= end for line in self.hotpath_lines):
+            return
+        flagged: Set[int] = set()
+        for loop in ast.walk(node):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for stmt in list(loop.body) + list(loop.orelse):
+                for sub in ast.walk(stmt):
+                    if id(sub) in flagged:
+                        continue
+                    label = None
+                    if isinstance(sub, (ast.Dict, ast.DictComp)):
+                        label = "dict literal"
+                    elif isinstance(sub, ast.Call):
+                        dotted = _dotted_name(sub.func)
+                        resolved = self.imports.resolve(dotted) if dotted else None
+                        terminal = _terminal_identifier(sub.func)
+                        if (
+                            resolved in _HOTPATH_ALLOCATORS
+                            or terminal in _HOTPATH_ALLOCATORS
+                        ):
+                            label = f"{terminal}() call"
+                    if label is not None:
+                        flagged.add(id(sub))
+                        self._emit(
+                            "SIM111",
+                            sub,
+                            f"{label} allocated per loop iteration in hotpath "
+                            f"function {node.name}()",
+                            "hoist the allocation out of the loop and reset "
+                            "fields in place",
+                        )
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._check_defaults(node)
@@ -560,7 +631,12 @@ def lint_source(
             )
         )
         return sink.diagnostics[before:]
-    _Linter(path, module, sink).visit(tree)
+    hotpath_lines = {
+        lineno
+        for lineno, line in enumerate(source.splitlines(), start=1)
+        if HOTPATH_MARKER in line.partition("#")[2]
+    }
+    _Linter(path, module, sink, hotpath_lines=hotpath_lines).visit(tree)
     suppressed = _noqa_lines(source)
     kept = [
         d

@@ -867,6 +867,11 @@ def campaign_report(run: CampaignRun, markdown: bool = True) -> str:
             f"| events / wall-second | {host.events_per_wall_second:.0f} |",
             f"| flow recomputations | {host.flow_recomputes:.0f} |",
             f"| solver iterations | {host.solver_iterations:.0f} |",
+            f"| solver classes (summed) | {host.solver_classes:.0f} |",
+            f"| memo hit rate | {host.memo_hit_rate:.1%} "
+            f"({host.solver_memo_hits:.0f}/"
+            f"{host.solver_memo_hits + host.solver_memo_misses:.0f}) |",
+            f"| recomputes coalesced | {host.recomputes_coalesced:.0f} |",
             f"| peak tracemalloc bytes | {host.peak_tracemalloc_bytes} |",
             "",
         ]
@@ -941,5 +946,10 @@ def bench_record(run: CampaignRun) -> Dict[str, Any]:
         "events_per_wall_second": host.events_per_wall_second,
         "flow_recomputes": host.flow_recomputes,
         "solver_iterations": host.solver_iterations,
+        "solver_classes": host.solver_classes,
+        "solver_memo_hits": host.solver_memo_hits,
+        "solver_memo_misses": host.solver_memo_misses,
+        "memo_hit_rate": host.memo_hit_rate,
+        "recomputes_coalesced": host.recomputes_coalesced,
         "peak_tracemalloc_bytes": host.peak_tracemalloc_bytes,
     }

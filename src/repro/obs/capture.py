@@ -23,7 +23,7 @@ innermost-wins.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from repro.errors import SimulationError
 from repro.obs.hooks import ChannelHooks, EngineHooks, NetworkHooks
@@ -46,6 +46,11 @@ class Observation:
         self.tracer: Optional["Tracer"] = None
         self.result: Optional["RunResult"] = None
         self._spans: Optional[List[Span]] = None
+        #: Flow-solver strategy counters (classes, memo hits/misses,
+        #: coalesced recomputes), latched from the network at finalize.
+        #: Host-side accounting only — deliberately NOT probes, so trace
+        #: and metrics exports stay identical across solver modes.
+        self.solver_stats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Hook factories used by the workflow runner while wiring a run.
@@ -71,8 +76,18 @@ class Observation:
     def finalized(self) -> bool:
         return self.result is not None
 
-    def finalize(self, engine: "Engine", result: "RunResult") -> None:
-        """Latch end-of-run state: engine totals and the run result."""
+    def finalize(
+        self,
+        engine: "Engine",
+        result: "RunResult",
+        network: Optional[object] = None,
+    ) -> None:
+        """Latch end-of-run state: engine totals and the run result.
+
+        *network*, when given, contributes the flow-solver strategy
+        counters to :attr:`solver_stats` (plain attributes, not probes —
+        they describe how the solve was computed, not what was simulated).
+        """
         if self.finalized:
             raise SimulationError(f"observation {self.run_id} finalized twice")
         now = engine.now
@@ -84,6 +99,13 @@ class Observation:
         self.probes.gauge("engine.peak_queue_depth").set(
             now, engine.peak_queue_depth
         )
+        if network is not None:
+            self.solver_stats = {
+                "solver_classes": network.solver_classes,
+                "solver_memo_hits": network.memo_hits,
+                "solver_memo_misses": network.memo_misses,
+                "recomputes_coalesced": network.recomputes_coalesced,
+            }
         self.result = result
 
     def spans(self) -> List[Span]:

@@ -116,7 +116,14 @@ class NetworkHooks:
             ).set(now, model)
 
     def on_solve(self, now: float, iterations: int) -> None:
-        """Called after every rate solve with the fixed-point iteration count."""
+        """Called after every rate solve with the fixed-point iteration count.
+
+        On a converged-state memo hit the network replays the *stored*
+        iteration count, so this probe (and every export derived from it)
+        is identical whether a solve ran live or was served from cache —
+        solver strategy counters live in host metrics instead
+        (``Observation.solver_stats``), precisely to keep it that way.
+        """
         if iterations > 0:
             self._solver_iterations.add(now, iterations)
 

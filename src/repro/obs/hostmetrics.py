@@ -89,6 +89,14 @@ class HostMetrics:
     flow_recomputes: float = 0.0
     solver_iterations: float = 0.0
     flows_completed: float = 0.0
+    #: Solver fast-path accounting (PR-5): equivalence classes solved,
+    #: converged-state memo hits/misses, and recompute requests absorbed
+    #: by coalescing.  Zero for emulated/cached runs and for the
+    #: reference solver.
+    solver_classes: float = 0.0
+    solver_memo_hits: float = 0.0
+    solver_memo_misses: float = 0.0
+    recomputes_coalesced: float = 0.0
     peak_tracemalloc_bytes: int = 0
     runs: int = 0
     hotspots: List[Hotspot] = field(default_factory=list)
@@ -106,6 +114,14 @@ class HostMetrics:
             return 0.0
         return self.events_executed / self.wall_seconds
 
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of memo-eligible solves served from the converged cache."""
+        attempts = self.solver_memo_hits + self.solver_memo_misses
+        if attempts <= 0:
+            return 0.0
+        return self.solver_memo_hits / attempts
+
     def as_record(self) -> Dict[str, Any]:
         """The JSON shape stored under a cell's ``"host"`` key."""
         record: Dict[str, Any] = {
@@ -119,6 +135,11 @@ class HostMetrics:
             "flow_recomputes": self.flow_recomputes,
             "solver_iterations": self.solver_iterations,
             "flows_completed": self.flows_completed,
+            "solver_classes": self.solver_classes,
+            "solver_memo_hits": self.solver_memo_hits,
+            "solver_memo_misses": self.solver_memo_misses,
+            "memo_hit_rate": self.memo_hit_rate,
+            "recomputes_coalesced": self.recomputes_coalesced,
             "peak_tracemalloc_bytes": self.peak_tracemalloc_bytes,
             "runs": self.runs,
         }
@@ -217,6 +238,7 @@ def simulated_host_metrics(
     """Combine a meter's host readings with the observed runs' work counters."""
     simulated = 0.0
     events = timers = recomputes = solver = completed = 0.0
+    classes = memo_hits = memo_misses = coalesced = 0.0
     for observation in observations:
         if observation.result is not None:
             simulated += observation.result.makespan
@@ -226,6 +248,11 @@ def simulated_host_metrics(
         recomputes += probes.counter_total("flow.recomputes")
         solver += probes.counter_total("flow.solver_iterations")
         completed += probes.counter_total("flow.completed")
+        stats = observation.solver_stats
+        classes += stats.get("solver_classes", 0)
+        memo_hits += stats.get("solver_memo_hits", 0)
+        memo_misses += stats.get("solver_memo_misses", 0)
+        coalesced += stats.get("recomputes_coalesced", 0)
     return HostMetrics(
         kind=KIND_SIMULATED,
         wall_seconds=meter.wall_seconds,
@@ -235,6 +262,10 @@ def simulated_host_metrics(
         flow_recomputes=recomputes,
         solver_iterations=solver,
         flows_completed=completed,
+        solver_classes=classes,
+        solver_memo_hits=memo_hits,
+        solver_memo_misses=memo_misses,
+        recomputes_coalesced=coalesced,
         peak_tracemalloc_bytes=meter.peak_tracemalloc_bytes,
         runs=len(observations),
         hotspots=meter.hotspots(),
@@ -285,6 +316,10 @@ def aggregate_host_metrics(metrics: Iterable[HostMetrics]) -> HostMetrics:
         total.flow_recomputes += item.flow_recomputes
         total.solver_iterations += item.solver_iterations
         total.flows_completed += item.flows_completed
+        total.solver_classes += item.solver_classes
+        total.solver_memo_hits += item.solver_memo_hits
+        total.solver_memo_misses += item.solver_memo_misses
+        total.recomputes_coalesced += item.recomputes_coalesced
         total.peak_tracemalloc_bytes = max(
             total.peak_tracemalloc_bytes, item.peak_tracemalloc_bytes
         )
@@ -320,6 +355,10 @@ def host_metrics_from_record(record: Dict[str, Any]) -> HostMetrics:
         flow_recomputes=record.get("flow_recomputes", 0.0),
         solver_iterations=record.get("solver_iterations", 0.0),
         flows_completed=record.get("flows_completed", 0.0),
+        solver_classes=record.get("solver_classes", 0.0),
+        solver_memo_hits=record.get("solver_memo_hits", 0.0),
+        solver_memo_misses=record.get("solver_memo_misses", 0.0),
+        recomputes_coalesced=record.get("recomputes_coalesced", 0.0),
         peak_tracemalloc_bytes=record.get("peak_tracemalloc_bytes", 0),
         runs=record.get("runs", 0),
         hotspots=[

@@ -97,6 +97,20 @@ class OptaneDeviceResource(CapacityResource):
             )
         self._held_occupancy = load.congestion_write_remote
 
+    def solver_state_token(self) -> object:
+        """Mutable state :meth:`share` reads, for the solver's memo key.
+
+        ``_write_share`` depends on the congestion EWMA and ``_read_share``
+        on the poller counts; ``_held_occupancy``/``_last_observed`` only
+        feed *future* EWMA updates via :meth:`observe` and are deliberately
+        excluded — they don't change what ``share`` returns now.
+        """
+        return (
+            self._remote_write_ewma,
+            self._pollers_local,
+            self._pollers_remote,
+        )
+
     # ------------------------------------------------------------------
     # Pollers: readers blocked on an unpublished version busy-poll the
     # channel's metadata in this device's PMEM.  They contribute to mix

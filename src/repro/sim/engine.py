@@ -5,6 +5,15 @@ The engine owns *timers* (callbacks scheduled at absolute virtual times) and
 Timers are cancellable — the fluid-flow network constantly reschedules flow
 completions as concurrency changes, so cancellation must be O(1): cancelled
 timers stay in the heap and are skipped when popped.
+
+The engine also supports *flush hooks*: callbacks invoked whenever the
+virtual clock is about to advance past the current timestamp (and when the
+queue drains).  The flow network uses them to coalesce rate recomputations
+for flow starts/finishes that land at the same instant — 24 ranks kicking
+off identical writes in one timestep cost one fixed-point solve, not 24.
+A flush hook returns ``True`` when it did work (it may have scheduled new
+timers, possibly earlier than the previously pending head), so the loop
+re-examines the queue before committing to a pop.
 """
 
 from __future__ import annotations
@@ -80,6 +89,8 @@ class Engine:
         #: Optional observability adapter (see :mod:`repro.obs.hooks`);
         #: ``None`` keeps the hot loop branch-cheap when not observing.
         self.hooks: Optional[Any] = None
+        #: End-of-timestamp callbacks (see :meth:`add_flush_hook`).
+        self._flush_hooks: List[Callable[[], bool]] = []
 
     # ------------------------------------------------------------------
     # Clock and scheduling.
@@ -135,24 +146,73 @@ class Engine:
         return event
 
     # ------------------------------------------------------------------
+    # Flush hooks.
+    # ------------------------------------------------------------------
+    def add_flush_hook(self, hook: Callable[[], bool]) -> None:
+        """Register *hook* to run before the clock advances past ``now``.
+
+        Hooks fire (in registration order) when the next non-cancelled timer
+        is strictly later than the current time, and when the queue drains.
+        A hook returns ``True`` when it performed deferred work; since that
+        work may schedule new timers at or after ``now``, the main loop
+        re-examines the queue head before popping.  Hooks must return
+        ``False`` when they have nothing pending, or the loop cannot make
+        progress.
+        """
+        self._flush_hooks.append(hook)
+
+    def _run_flush_hooks(self) -> bool:
+        ran = False
+        for hook in self._flush_hooks:
+            if hook():
+                ran = True
+        return ran
+
+    # ------------------------------------------------------------------
     # Main loop.
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Execute the next non-cancelled timer; return ``False`` if none remain."""
-        while self._queue:
-            time, _seq, timer = heapq.heappop(self._queue)
-            if timer.cancelled:
+    def _dispatch(self, until: Optional[float]) -> Optional[bool]:
+        """Pop and execute the next timer through a single heap path.
+
+        Returns ``True`` after executing a callback, ``False`` when the
+        queue is exhausted (flush hooks included), and ``None`` when the
+        next event lies beyond the *until* horizon.  Cancelled timers are
+        discarded (and counted) here and only here, so the accounting is
+        identical whether the caller is :meth:`step` or :meth:`run`.
+        """
+        queue = self._queue
+        while True:
+            while queue and queue[0][2].cancelled:
+                heapq.heappop(queue)
                 self.timers_cancelled_skipped += 1
+            if not queue:
+                if self._flush_hooks and self._run_flush_hooks():
+                    continue
+                return False
+            head_time = queue[0][0]
+            if (
+                head_time > self._now
+                and self._flush_hooks
+                and self._run_flush_hooks()
+            ):
+                # Deferred work may have scheduled earlier timers (or
+                # cancelled the head); re-evaluate before popping.
                 continue
+            if until is not None and head_time > until:
+                return None
+            time, _seq, timer = heapq.heappop(queue)
             if time < self._now:  # pragma: no cover - guarded by schedule()
                 raise SimulationError("event queue went backwards in time")
             self._now = time
             timer.callback()
             self.events_executed += 1
             if self.hooks is not None:
-                self.hooks.on_step(self._now, len(self._queue))
+                self.hooks.on_step(self._now, len(queue))
             return True
-        return False
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled timer; return ``False`` if none remain."""
+        return bool(self._dispatch(None))
 
     def run(self, until: Optional[float] = None, check_deadlock: bool = True) -> float:
         """Run until the queue drains (or virtual time *until* is reached).
@@ -174,12 +234,12 @@ class Engine:
             raise SimulationError("engine is not reentrant")
         self._running = True
         try:
-            while self._queue:
-                next_time = self._peek_time()
-                if until is not None and next_time is not None and next_time > until:
+            while True:
+                executed = self._dispatch(until)
+                if executed is None:
                     self._now = until
                     return self._now
-                if not self.step():
+                if not executed:
                     break
             if until is not None and self._now < until:
                 self._now = until
@@ -194,12 +254,6 @@ class Engine:
             return self._now
         finally:
             self._running = False
-
-    def _peek_time(self) -> Optional[float]:
-        while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
-            self.timers_cancelled_skipped += 1
-        return self._queue[0][0] if self._queue else None
 
     @property
     def alive_processes(self) -> List[Process]:

@@ -46,6 +46,8 @@ Key emergent behaviours, each a headline observation of the paper:
 from __future__ import annotations
 
 import math
+import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -69,6 +71,22 @@ DUTY_DAMPING = 0.6
 
 #: Relative convergence tolerance on rates.
 RATE_TOLERANCE = 1e-5
+
+#: Bounded LRU capacity for the converged-state memo (entries per network).
+MEMO_CAPACITY = 256
+
+#: Environment variable selecting the solver implementation per network.
+SOLVER_ENV = "REPRO_SOLVER"
+
+#: Environment variable disabling recompute coalescing ("0"/"off"/"false").
+COALESCE_ENV = "REPRO_COALESCE"
+
+#: Equivalence-class solver with converged-state memoization (the default).
+SOLVER_FAST = "fast"
+
+#: Straightforward per-flow fixed point — the byte-identity oracle the fast
+#: path is validated against (``REPRO_SOLVER=reference``).
+SOLVER_REFERENCE = "reference"
 
 
 @dataclass
@@ -194,6 +212,13 @@ class CapacityResource:
 
         Default: processor sharing of the aggregate capacity across the
         duty-weighted total occupancy, clipped at the per-thread cap.
+
+        Contract (relied on by the equivalence-class solver): the result may
+        depend only on *load*, the resource's own state, and the flow's
+        solver-signature fields (``kind``, ``remote``, ``self_cap``,
+        ``op_bytes``, ``issue_weight``) — never on flow identity, label, or
+        residual bytes.  Flows with identical signatures must receive
+        identical shares.
         """
         return min(
             self.capacity(load) / max(1.0, load.n_total),
@@ -206,6 +231,25 @@ class CapacityResource:
         Stateful device models (e.g. the Optane congestion EWMA) override
         this; the default resource is stateless.
         """
+
+    def solver_state_token(self) -> object:
+        """Hashable token covering all mutable state :meth:`share` reads.
+
+        The converged-state memo (see :func:`solve_flow_set`) may only serve
+        a cached solve when every resource on the path would hand out the
+        same shares as when the entry was recorded.  The protocol:
+
+        * resources that override neither this method nor :meth:`observe`
+          are treated as stateless (empty token);
+        * resources that override :meth:`observe` are assumed stateful — the
+          memo is bypassed unless they also override this method to expose
+          exactly the state :meth:`share` depends on (returning ``None``
+          forces the bypass explicitly for opaque state);
+        * state mutated through neither channel (e.g. a closure captured by
+          ``capacity_fn``) must be announced via :meth:`FlowNetwork.poke`,
+          which flushes the memo.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<CapacityResource {self.name}>"
@@ -312,31 +356,90 @@ def _build_loads(
     return loads
 
 
-def solve_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
-    """Solve the processor-sharing duty-cycle fixed point for *flows*.
+@dataclass
+class SolveResult:
+    """Converged solver output plus cost/strategy accounting.
 
-    Returns the achieved average rate ``A_f`` (bytes/s) for every flow and
-    stores the converged duty cycle on each flow.  Pure function of the flow
-    set — exposed at module level so tests and the analytic cross-check can
-    call it without an engine.
+    ``loads`` are the solver's final *internal* per-resource loads — the
+    ones that produced the converged rates — handed to the network so the
+    post-solve ``observe()``/hooks pass no longer rebuilds them.
     """
-    rates, _ = solve_rates_counted(flows)
-    return rates
+
+    rates: Dict[Flow, float]
+    iterations: int
+    loads: Dict[CapacityResource, ResourceLoad]
+    classes: int = 0
+    memo_hit: bool = False
+    memo_attempted: bool = False
 
 
-def solve_rates_counted(
-    flows: Sequence[Flow],
-) -> Tuple[Dict[Flow, float], int]:
-    """:func:`solve_rates` plus the number of fixed-point iterations used.
+class _FlowClass:
+    """One solver equivalence class: flows indistinguishable to the fixed point.
 
-    The iteration count is the solver's own cost signal — the campaign
-    host-metrics layer aggregates it per run to track how hard the model
-    works as workload shape and calibration evolve.
+    All solver-relevant inputs (kind, remote, path, caps, op size, issue
+    weight, starting duty) are identical across members, so their rate and
+    duty trajectories through the fixed point are identical too — the class
+    carries one copy of that trajectory for all of them.
     """
-    if not flows:
-        return {}, 0
+
+    __slots__ = (
+        "rep",
+        "kind",
+        "remote",
+        "resources",
+        "self_cap",
+        "log_op",
+        "issue_weight",
+        "duty",
+        "rate",
+        "index",
+        "loads",
+        "weight",
+        "log_term",
+        "congestion_term",
+    )
+
+    def __init__(self, flow: Flow, index: int) -> None:
+        self.rep = flow
+        self.kind = flow.kind
+        self.remote = flow.remote
+        self.resources = flow.resources
+        self.self_cap = flow.self_cap
+        self.log_op = math.log(max(flow.op_bytes, 1.0))
+        self.issue_weight = flow.issue_weight
+        self.duty = flow.duty
+        self.rate = 0.0
+        self.index = index
+        self.loads: Tuple[ResourceLoad, ...] = ()
+        self.weight = 0.0
+        self.log_term = 0.0
+        self.congestion_term = 0.0
+
+
+def _state_token(resource: CapacityResource) -> object:
+    """Memo token for *resource*, or ``None`` when its state is opaque."""
+    rtype = type(resource)
+    if rtype.solver_state_token is not CapacityResource.solver_state_token:
+        return resource.solver_state_token()
+    if rtype.observe is not CapacityResource.observe:
+        # Stateful (it watches loads) but exposes no token: assume the
+        # worst and bypass the memo for any set that touches it.
+        return None
+    return ()
+
+
+def _solve_reference(flows: Sequence[Flow]) -> SolveResult:
+    """Per-flow duty-cycle fixed point — the byte-identity oracle.
+
+    This is the original solver, kept deliberately simple: one rate/duty
+    update per *flow* per iteration and a full :func:`_build_loads` pass per
+    iteration.  :func:`_solve_classes` must reproduce its results bit for
+    bit; the determinism oracle test runs entire campaigns under both and
+    compares stores byte-wise.
+    """
     duties: Dict[Flow, float] = {f: f.duty for f in flows}
     rates: Dict[Flow, float] = {f: 0.0 for f in flows}
+    loads: Dict[CapacityResource, ResourceLoad] = {}
     iterations = 0
     for _ in range(DUTY_ITERATIONS):
         iterations += 1
@@ -372,7 +475,247 @@ def solve_rates_counted(
             break
     for f in flows:
         f.duty = duties[f]
-    return rates, iterations
+    return SolveResult(rates, iterations, loads)
+
+
+def _solve_classes(
+    flows: Sequence[Flow],
+    memo: Optional["OrderedDict"] = None,
+) -> SolveResult:
+    # simlint: hotpath — allocations here multiply by flows × resources ×
+    # DUTY_ITERATIONS × recomputes; load objects are reset in place.
+    """Equivalence-class duty-cycle fixed point with converged-state memo.
+
+    Byte-identity with :func:`_solve_reference` rests on two facts:
+
+    * per-class work (``share()`` calls, rate/duty updates) uses exactly the
+      arithmetic the reference applies to each member — identical operands
+      give identical IEEE-754 results, so one evaluation stands for all;
+    * per-resource *accumulation* stays in flow-list order.  Floating-point
+      addition is order-sensitive, so load sums are accumulated per flow
+      (using per-class cached terms) rather than per class scaled by count.
+    """
+    classes: "OrderedDict[tuple, _FlowClass]" = OrderedDict()
+    order: List[_FlowClass] = []
+    resources: List[CapacityResource] = []
+    for f in flows:
+        sig = (
+            f.kind,
+            f.remote,
+            f.resources,
+            f.self_cap,
+            f.op_bytes,
+            f.issue_weight,
+            f.duty,
+        )
+        cls = classes.get(sig)
+        if cls is None:
+            cls = _FlowClass(f, len(classes))
+            classes[sig] = cls
+            for r in f.resources:
+                # Same class => same path, so first-appearance resource
+                # order (which fixes loads-dict iteration order downstream)
+                # matches the reference's flow-major insertion order.
+                if r not in resources:
+                    resources.append(r)
+        order.append(cls)
+    class_list = list(classes.values())
+
+    key = None
+    if memo is not None:
+        tokens: Optional[List[object]] = []
+        for r in resources:
+            token = _state_token(r)
+            if token is None:
+                tokens = None
+                break
+            tokens.append(token)
+        if tokens is not None:
+            key = (
+                tuple(cls.index for cls in order),
+                tuple(classes),
+                tuple(tokens),
+            )
+            entry = memo.get(key)
+            if entry is not None:
+                memo.move_to_end(key)
+                class_rates, class_duties, iterations, loads = entry
+                rates = {}
+                for f, cls in zip(flows, order):
+                    f.duty = class_duties[cls.index]
+                    rates[f] = class_rates[cls.index]
+                return SolveResult(
+                    rates,
+                    iterations,
+                    loads,
+                    classes=len(class_list),
+                    memo_hit=True,
+                    memo_attempted=True,
+                )
+
+    loads = {r: ResourceLoad() for r in resources}
+    read_logs: Dict[CapacityResource, float] = {r: 0.0 for r in resources}
+    write_logs: Dict[CapacityResource, float] = {r: 0.0 for r in resources}
+    for cls in class_list:
+        cls.loads = tuple(loads[r] for r in cls.resources)
+    iterations = 0
+    for _ in range(DUTY_ITERATIONS):
+        iterations += 1
+        for load in loads.values():
+            load.n_read_local = 0.0
+            load.n_read_remote = 0.0
+            load.n_write_local = 0.0
+            load.n_write_remote = 0.0
+            load.raw_read_local = 0
+            load.raw_read_remote = 0
+            load.raw_write_local = 0
+            load.raw_write_remote = 0
+            load.read_op_bytes = 0.0
+            load.write_op_bytes = 0.0
+            load.congestion_write_remote = 0.0
+        for r in resources:
+            read_logs[r] = 0.0
+            write_logs[r] = 0.0
+        for cls in class_list:
+            weight = max(cls.duty, MIN_DUTY)
+            cls.weight = weight
+            cls.log_term = weight * cls.log_op
+            cls.congestion_term = min(weight, cls.issue_weight)
+        # Accumulate per flow, in flow-list order: summation order is part
+        # of the byte-identity contract with the reference solver.
+        for cls in order:
+            weight = cls.weight
+            term = cls.log_term
+            if cls.kind == "read":
+                if cls.remote:
+                    for r, load in zip(cls.resources, cls.loads):
+                        load.n_read_remote += weight
+                        load.raw_read_remote += 1
+                        read_logs[r] += term
+                else:
+                    for r, load in zip(cls.resources, cls.loads):
+                        load.n_read_local += weight
+                        load.raw_read_local += 1
+                        read_logs[r] += term
+            elif cls.remote:
+                congestion = cls.congestion_term
+                for r, load in zip(cls.resources, cls.loads):
+                    load.n_write_remote += weight
+                    load.raw_write_remote += 1
+                    load.congestion_write_remote += congestion
+                    write_logs[r] += term
+            else:
+                for r, load in zip(cls.resources, cls.loads):
+                    load.n_write_local += weight
+                    load.raw_write_local += 1
+                    write_logs[r] += term
+        for r, load in loads.items():
+            if load.n_reads > 0:
+                load.read_op_bytes = math.exp(read_logs[r] / load.n_reads)
+            if load.n_writes > 0:
+                load.write_op_bytes = math.exp(write_logs[r] / load.n_writes)
+        max_rel_change = 0.0
+        for cls in class_list:
+            rep = cls.rep
+            device_rate = math.inf
+            for r, load in zip(cls.resources, cls.loads):
+                device_rate = min(device_rate, r.share(load, rep))
+            if math.isinf(device_rate):
+                new_rate = cls.self_cap
+                new_duty = MIN_DUTY if math.isfinite(cls.self_cap) else 1.0
+            elif math.isinf(cls.self_cap):
+                new_rate = device_rate
+                new_duty = 1.0
+            else:
+                new_rate = 1.0 / (1.0 / cls.self_cap + 1.0 / device_rate)
+                new_duty = min(1.0, max(MIN_DUTY, 1.0 - new_rate / cls.self_cap))
+            if math.isinf(new_rate):
+                raise SimulationError(
+                    f"flow {rep.label!r} has unbounded rate: no resource or "
+                    "self cap constrains it"
+                )
+            old_rate = cls.rate
+            damped_duty = cls.duty + DUTY_DAMPING * (new_duty - cls.duty)
+            cls.duty = min(1.0, max(MIN_DUTY, damped_duty))
+            cls.rate = new_rate
+            denom = max(new_rate, 1.0)
+            rel = abs(new_rate - old_rate) / denom
+            if rel > max_rel_change:
+                max_rel_change = rel
+        if max_rel_change < RATE_TOLERANCE:
+            break
+    rates = {}
+    for f, cls in zip(flows, order):
+        f.duty = cls.duty
+        rates[f] = cls.rate
+    if key is not None:
+        memo[key] = (
+            tuple(cls.rate for cls in class_list),
+            tuple(cls.duty for cls in class_list),
+            iterations,
+            loads,
+        )
+        if len(memo) > MEMO_CAPACITY:
+            memo.popitem(last=False)
+    return SolveResult(
+        rates,
+        iterations,
+        loads,
+        classes=len(class_list),
+        memo_attempted=key is not None,
+    )
+
+
+def solve_flow_set(
+    flows: Sequence[Flow],
+    solver: Optional[str] = None,
+    memo: Optional["OrderedDict"] = None,
+) -> SolveResult:
+    """Solve the processor-sharing duty-cycle fixed point for *flows*.
+
+    Stores the converged duty cycle on each flow and returns a
+    :class:`SolveResult` with rates, iteration count, and the solver's final
+    internal loads.  *solver* selects the implementation (``"fast"`` /
+    ``"reference"``; default from the ``REPRO_SOLVER`` environment
+    variable); *memo* is the fast path's converged-state LRU (``None``
+    disables memoization).  Both implementations produce byte-identical
+    results for any flow set honouring the :meth:`CapacityResource.share`
+    contract.
+    """
+    if not flows:
+        return SolveResult({}, 0, {})
+    if solver is None:
+        solver = os.environ.get(SOLVER_ENV, SOLVER_FAST)
+    if solver == SOLVER_REFERENCE:
+        return _solve_reference(flows)
+    if solver != SOLVER_FAST:
+        raise SimulationError(
+            f"unknown solver {solver!r} (env {SOLVER_ENV}); choices: "
+            f"{SOLVER_FAST!r}, {SOLVER_REFERENCE!r}"
+        )
+    return _solve_classes(flows, memo)
+
+
+def solve_rates(flows: Sequence[Flow]) -> Dict[Flow, float]:
+    """Solve the fixed point for *flows*; returns achieved rates ``A_f``.
+
+    Pure function of the flow set — exposed at module level so tests and
+    the analytic cross-check can call it without an engine.
+    """
+    return solve_flow_set(flows).rates
+
+
+def solve_rates_counted(
+    flows: Sequence[Flow],
+) -> Tuple[Dict[Flow, float], int]:
+    """:func:`solve_rates` plus the number of fixed-point iterations used.
+
+    The iteration count is the solver's own cost signal — the campaign
+    host-metrics layer aggregates it per run to track how hard the model
+    works as workload shape and calibration evolve.
+    """
+    result = solve_flow_set(flows)
+    return result.rates, result.iterations
 
 
 class FlowNetwork:
@@ -381,19 +724,81 @@ class FlowNetwork:
     The network is lazy: rates are recomputed only when a flow starts or
     finishes.  Between recomputations every flow progresses linearly at its
     assigned rate, so completions can be scheduled exactly.
+
+    Completion recomputations are additionally *coalesced*: flow finishes
+    (and idle transitions) at the same virtual timestamp mark the network
+    dirty, and one solve runs via the engine's flush hook just before the
+    clock advances — 24 ranks finishing identical writes in one instant
+    cost one solve, not 24.  Flow bookkeeping (``active_flows``, progress
+    advancement) stays synchronous; only the fixed-point solve is deferred.
+
+    Flow *starts* deliberately keep solving synchronously, coalescing only
+    an already-pending completion flush.  The congestion model's damped
+    fixed point is bistable (remote-write collapse): starting N flows one
+    solve at a time warm-starts duties down the uncongested branch, while
+    one cold solve of N fresh flows at duty 1.0 can land on the collapsed
+    branch — a simulated-result change of tens of percent, not rounding.
+    The start cascade is therefore part of the model.  Completions are
+    safe: survivors enter the flush solve with near-converged duties, so
+    both paths stay in the same basin and drift stays at solver-tolerance
+    level (~1e-5), far below the campaign diff threshold.
+
+    Parameters
+    ----------
+    engine:
+        The discrete-event engine whose clock and flush hooks drive the
+        network.
+    solver:
+        ``"fast"`` (equivalence classes + memo, the default) or
+        ``"reference"`` (per-flow oracle).  Defaults from ``REPRO_SOLVER``.
+    coalesce:
+        Whether to defer same-timestamp recomputes.  Defaults from
+        ``REPRO_COALESCE`` (coalescing is applied identically under both
+        solvers, so the fast-vs-reference oracle compares like with like).
     """
 
-    def __init__(self, engine: "Engine") -> None:
+    def __init__(
+        self,
+        engine: "Engine",
+        solver: Optional[str] = None,
+        coalesce: Optional[bool] = None,
+    ) -> None:
         self.engine = engine
         self._flows: List[Flow] = []
         self._last_update: float = 0.0
         self.recompute_count: int = 0
         self.flows_completed: int = 0
         self.solver_iterations: int = 0
+        #: Equivalence classes summed over recomputes (fast solver only).
+        self.solver_classes: int = 0
+        #: Converged-state memo hits/misses (fast solver only; a bypassed
+        #: memo — opaque stateful resource on the path — counts as neither).
+        self.memo_hits: int = 0
+        self.memo_misses: int = 0
+        #: Recompute requests absorbed into an already-pending flush.
+        self.recomputes_coalesced: int = 0
         self._observed_resources: set = set()
         #: Optional observability adapter (see :mod:`repro.obs.hooks`);
         #: ``None`` keeps the solver path free of instrumentation cost.
         self.hooks: Optional[object] = None
+        if solver is None:
+            solver = os.environ.get(SOLVER_ENV, SOLVER_FAST)
+        if solver not in (SOLVER_FAST, SOLVER_REFERENCE):
+            raise SimulationError(
+                f"unknown solver {solver!r} (env {SOLVER_ENV}); choices: "
+                f"{SOLVER_FAST!r}, {SOLVER_REFERENCE!r}"
+            )
+        self.solver = solver
+        if coalesce is None:
+            coalesce = os.environ.get(COALESCE_ENV, "1").lower() not in (
+                "0",
+                "off",
+                "false",
+            )
+        self.coalesce = bool(coalesce)
+        self._memo: "OrderedDict" = OrderedDict()
+        self._dirty = False
+        engine.add_flush_hook(self._flush_recompute)
 
     # ------------------------------------------------------------------
     @property
@@ -414,6 +819,11 @@ class FlowNetwork:
             return flow.done
         self._advance_progress()
         self._flows.append(flow)
+        # Starts solve synchronously (see class docstring) — but one solve
+        # serves both this start and any pending completion flush.
+        if self._dirty:
+            self._dirty = False
+            self.recomputes_coalesced += 1
         self._recompute()
         return flow.done
 
@@ -421,12 +831,37 @@ class FlowNetwork:
         """Force a rate recomputation after external resource-state changes.
 
         Used when something other than a flow start/finish alters resource
-        behaviour (e.g. a blocked reader registering as a metadata poller).
+        behaviour (e.g. a blocked reader registering as a metadata poller,
+        or a closure captured by a ``capacity_fn`` mutating).  Such changes
+        are invisible to the solver's memo key, so the converged-state memo
+        is flushed; the solve itself runs immediately (not coalesced) — the
+        caller changed resource state and expects rates to reflect it.
         """
+        self._memo.clear()
         self._advance_progress()
+        if self._dirty:
+            self._dirty = False
+            self.recomputes_coalesced += 1
         self._recompute()
 
     # ------------------------------------------------------------------
+    def _request_recompute(self) -> None:
+        """Mark dirty for the end-of-timestamp flush (completions/idle)."""
+        if not self.coalesce:
+            self._recompute()
+        elif self._dirty:
+            self.recomputes_coalesced += 1
+        else:
+            self._dirty = True
+
+    def _flush_recompute(self) -> bool:
+        """Engine flush hook: run the one deferred solve for this instant."""
+        if not self._dirty:
+            return False
+        self._dirty = False
+        self._recompute()
+        return True
+
     def _advance_progress(self) -> None:
         """Apply linear progress at current rates since the last update."""
         now = self.engine.now
@@ -439,13 +874,26 @@ class FlowNetwork:
     def _recompute(self) -> None:
         """Resolve rates for the current flow set and reschedule completions."""
         self.recompute_count += 1
-        rates, iterations = solve_rates_counted(self._flows)
-        self.solver_iterations += iterations
+        result = solve_flow_set(
+            self._flows,
+            solver=self.solver,
+            memo=self._memo if self.solver == SOLVER_FAST else None,
+        )
+        rates = result.rates
+        self.solver_iterations += result.iterations
+        self.solver_classes += result.classes
+        if result.memo_attempted:
+            if result.memo_hit:
+                self.memo_hits += 1
+            else:
+                self.memo_misses += 1
         # Let stateful resources (congestion EWMAs) see the converged load;
         # resources that just went idle observe an explicitly empty load so
-        # their state can decay.
-        duties = {f: f.duty for f in self._flows}
-        loads = _build_loads(self._flows, duties)
+        # their state can decay.  The loads come straight from the solver
+        # (its final internal build) — on a memo hit the stored loads are
+        # replayed, as is the stored iteration count, so observe()/hooks
+        # see the same sequence either way.
+        loads = result.loads
         for resource in self._observed_resources - set(loads):
             resource.observe(self.engine.now, ResourceLoad())
         for resource, load in loads.items():
@@ -453,7 +901,7 @@ class FlowNetwork:
         self._observed_resources = set(loads)
         if self.hooks is not None:
             self.hooks.on_recompute(self.engine.now, self._flows, loads)
-            self.hooks.on_solve(self.engine.now, iterations)
+            self.hooks.on_solve(self.engine.now, result.iterations)
         for flow in self._flows:
             flow.rate = rates[flow]
             if flow._timer is not None:
@@ -487,6 +935,6 @@ class FlowNetwork:
             flow.done.succeed(flow)
             # Recompute even when no flows remain so stateful resources
             # observe the transition to idle.
-            self._recompute()
+            self._request_recompute()
 
         return _complete

@@ -325,7 +325,7 @@ class _WorkflowExecution:
             observation=self.observation,
         )
         if self.observation is not None:
-            self.observation.finalize(self.engine, result)
+            self.observation.finalize(self.engine, result, network=self.network)
         return result
 
 

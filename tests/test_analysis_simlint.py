@@ -359,6 +359,107 @@ class TestSIM110ConcurrencyImport:
         )
 
 
+class TestSIM111HotpathAllocation:
+    def test_dict_literal_in_marked_loop_flagged(self):
+        assert "SIM111" in codes(
+            """
+            def solve(flows):  # simlint: hotpath
+                for f in flows:
+                    state = {}
+            """
+        )
+
+    def test_dict_call_and_resource_load_flagged(self):
+        snippet = """
+            def solve(flows):  # simlint: hotpath
+                while flows:
+                    a = dict()
+                    b = ResourceLoad()
+        """
+        assert codes(snippet).count("SIM111") == 2
+
+    def test_dict_comprehension_inside_loop_flagged(self):
+        assert "SIM111" in codes(
+            """
+            def solve(flows):  # simlint: hotpath
+                for f in flows:
+                    loads = {r: 0.0 for r in f.resources}
+            """
+        )
+
+    def test_setup_allocation_outside_loop_not_flagged(self):
+        assert (
+            codes(
+                """
+                def solve(flows):  # simlint: hotpath
+                    loads = {r: ResourceLoad() for f in flows for r in f.resources}
+                    for f in flows:
+                        loads[f].reset()
+                """
+            )
+            == []
+        )
+
+    def test_unmarked_function_not_flagged(self):
+        assert (
+            codes(
+                """
+                def setup(flows):
+                    for f in flows:
+                        state = {}
+                """
+            )
+            == []
+        )
+
+    def test_marker_must_be_in_a_comment(self):
+        assert (
+            codes(
+                """
+                def solve(flows):
+                    marker = "simlint: hotpath"
+                    for f in flows:
+                        state = {}
+                """
+            )
+            == []
+        )
+
+    def test_other_calls_in_marked_loop_not_flagged(self):
+        assert (
+            codes(
+                """
+                def solve(flows):  # simlint: hotpath
+                    for f in flows:
+                        f.rate = compute(f)
+                """
+            )
+            == []
+        )
+
+    def test_nested_function_in_marked_body_flagged(self):
+        assert "SIM111" in codes(
+            """
+            def outer():
+                def solve(flows):  # simlint: hotpath
+                    for f in flows:
+                        return ResourceLoad()
+            """
+        )
+
+    def test_noqa_suppresses(self):
+        assert (
+            codes(
+                """
+                def solve(flows):  # simlint: hotpath
+                    for f in flows:
+                        state = {}  # noqa: SIM111
+                """
+            )
+            == []
+        )
+
+
 class TestSuppression:
     def test_noqa_with_code_suppresses(self):
         assert codes("CHUNK = 4096  # noqa: SIM106") == []

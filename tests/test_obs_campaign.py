@@ -261,6 +261,9 @@ GOLDEN_MARKDOWN = """\
 | events / wall-second | 320 |
 | flow recomputations | 640 |
 | solver iterations | 2788 |
+| solver classes (summed) | 0 |
+| memo hit rate | 0.0% (0/0) |
+| recomputes coalesced | 0 |
 | peak tracemalloc bytes | 1000 |
 """
 

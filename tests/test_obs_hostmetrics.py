@@ -150,3 +150,70 @@ class TestAggregate:
         metrics = HostMetrics(kind=KIND_SIMULATED, wall_seconds=0.0)
         assert metrics.sim_seconds_per_wall_second == 0.0
         assert metrics.events_per_wall_second == 0.0
+
+
+class TestSolverStrategyCounters:
+    """The PR's solver counters flow observation -> metrics -> records."""
+
+    def test_captured_from_observed_run(self):
+        with HostMeter() as meter:
+            observation = tiny_observation()
+        metrics = simulated_host_metrics(meter, [observation])
+        # The fast solver is the default: classes accumulate every solve,
+        # and the micro workflow's repeated identical phases hit the memo.
+        assert metrics.solver_classes > 0
+        assert metrics.solver_memo_hits + metrics.solver_memo_misses > 0
+        assert 0.0 <= metrics.memo_hit_rate <= 1.0
+        assert observation.solver_stats["solver_classes"] == metrics.solver_classes
+
+    def test_memo_hit_rate_property(self):
+        assert HostMetrics(kind=KIND_SIMULATED, wall_seconds=0.0).memo_hit_rate == 0.0
+        metrics = HostMetrics(
+            kind=KIND_SIMULATED,
+            wall_seconds=0.0,
+            solver_memo_hits=3.0,
+            solver_memo_misses=1.0,
+        )
+        assert metrics.memo_hit_rate == 0.75
+
+    def test_record_round_trip_includes_counters(self):
+        metrics = HostMetrics(
+            kind=KIND_SIMULATED,
+            wall_seconds=0.0,
+            solver_classes=7.0,
+            solver_memo_hits=5.0,
+            solver_memo_misses=2.0,
+            recomputes_coalesced=11.0,
+        )
+        record = metrics.as_record()
+        assert record["solver_classes"] == 7.0
+        assert record["memo_hit_rate"] == 5.0 / 7.0
+        loaded = host_metrics_from_record(record)
+        assert loaded.solver_classes == 7.0
+        assert loaded.solver_memo_hits == 5.0
+        assert loaded.solver_memo_misses == 2.0
+        assert loaded.recomputes_coalesced == 11.0
+
+    def test_aggregate_sums_counters(self):
+        a = HostMetrics(
+            kind=KIND_SIMULATED,
+            wall_seconds=0.0,
+            solver_classes=2.0,
+            solver_memo_hits=1.0,
+            solver_memo_misses=3.0,
+            recomputes_coalesced=4.0,
+        )
+        b = HostMetrics(
+            kind=KIND_SIMULATED,
+            wall_seconds=0.0,
+            solver_classes=5.0,
+            solver_memo_hits=2.0,
+            solver_memo_misses=1.0,
+            recomputes_coalesced=6.0,
+        )
+        total = aggregate_host_metrics([a, b])
+        assert total.solver_classes == 7.0
+        assert total.solver_memo_hits == 3.0
+        assert total.solver_memo_misses == 4.0
+        assert total.recomputes_coalesced == 10.0
+        assert total.memo_hit_rate == 3.0 / 7.0

@@ -157,3 +157,149 @@ class TestProcessesViaEngine:
         assert process.alive
         engine.run()
         assert not process.alive
+
+
+class TestCancelledSkipAccounting:
+    """The single-pop dispatch path counts skipped timers exactly once.
+
+    ``step()`` and ``run()`` share ``_dispatch``, so the
+    ``timers_cancelled_skipped`` total must be identical however the two
+    are interleaved — this is the regression guard for the old double
+    heap-inspection loop, which could count (or miss) a cancelled head
+    depending on which entry point observed it.
+    """
+
+    def build(self):
+        engine = Engine()
+        seen = []
+        timers = [
+            engine.schedule(float(i + 1), lambda i=i: seen.append(i))
+            for i in range(6)
+        ]
+        for i in (0, 2, 4):
+            timers[i].cancel()
+        return engine, seen
+
+    def test_run_counts_all_skips(self):
+        engine, seen = self.build()
+        engine.run()
+        assert seen == [1, 3, 5]
+        assert engine.timers_cancelled_skipped == 3
+        assert engine.events_executed == 3
+
+    def test_step_matches_run_accounting(self):
+        engine, seen = self.build()
+        steps = 0
+        while engine.step():
+            steps += 1
+        assert steps == 3
+        assert seen == [1, 3, 5]
+        assert engine.timers_cancelled_skipped == 3
+        assert engine.events_executed == 3
+
+    def test_mixed_step_then_run_accounting(self):
+        engine, seen = self.build()
+        assert engine.step()
+        engine.run()
+        assert seen == [1, 3, 5]
+        assert engine.timers_cancelled_skipped == 3
+        assert engine.events_executed == 3
+
+    def test_cancel_after_pop_window(self):
+        engine = Engine()
+        fired = []
+        victim = engine.schedule(2.0, lambda: fired.append("victim"))
+        engine.schedule(1.0, victim.cancel)
+        engine.run()
+        assert fired == []
+        assert engine.timers_cancelled_skipped == 1
+        assert engine.events_executed == 1
+
+
+class TestFlushHooks:
+    def test_hook_fires_before_clock_advances(self):
+        engine = Engine()
+        log = []
+        dirty = [False]
+
+        def hook():
+            if dirty[0]:
+                dirty[0] = False
+                log.append(("flush", engine.now))
+                return True
+            return False
+
+        engine.add_flush_hook(hook)
+
+        def mark():
+            dirty[0] = True
+            log.append(("mark", engine.now))
+
+        engine.schedule(1.0, mark)
+        engine.schedule(2.0, lambda: log.append(("later", engine.now)))
+        engine.run()
+        # The flush runs at t=1, before the clock moves to t=2.
+        assert log == [("mark", 1.0), ("flush", 1.0), ("later", 2.0)]
+
+    def test_hook_fires_on_queue_drain(self):
+        engine = Engine()
+        log = []
+        dirty = [True]
+
+        def hook():
+            if dirty[0]:
+                dirty[0] = False
+                log.append("flush")
+                return True
+            return False
+
+        engine.add_flush_hook(hook)
+        engine.run()
+        assert log == ["flush"]
+
+    def test_hook_scheduled_timer_reexamined_before_pop(self):
+        engine = Engine()
+        order = []
+        dirty = [True]
+
+        def hook():
+            if dirty[0]:
+                dirty[0] = False
+                # Deferred work lands *earlier* than the pending head; the
+                # loop must re-examine the queue rather than pop t=5 first.
+                engine.schedule(1.0, lambda: order.append(("hooked", engine.now)))
+                return True
+            return False
+
+        engine.add_flush_hook(hook)
+        engine.schedule(5.0, lambda: order.append(("head", engine.now)))
+        engine.run()
+        assert order == [("hooked", 1.0), ("head", 5.0)]
+
+    def test_idle_hook_does_not_block_progress(self):
+        engine = Engine()
+        engine.add_flush_hook(lambda: False)
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        assert engine.now == 1.0
+        assert engine.events_executed == 1
+
+    def test_hooks_run_in_registration_order(self):
+        engine = Engine()
+        order = []
+        pending = {"a": True, "b": True}
+
+        def make(name):
+            def hook():
+                if pending[name]:
+                    pending[name] = False
+                    order.append(name)
+                    return True
+                return False
+
+            return hook
+
+        engine.add_flush_hook(make("a"))
+        engine.add_flush_hook(make("b"))
+        engine.run()
+        assert order == ["a", "b"]
