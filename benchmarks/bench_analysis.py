@@ -1,0 +1,80 @@
+"""Benchmarks: the static-analysis passes themselves (not a paper artifact).
+
+The analyzers run in CI on every push, so their own runtime is part of
+the development feedback loop.  This file tracks the cost of building the
+project model and of each whole-program pass over the full ``src/`` tree,
+and enforces the hard wall guard: lint + all three dataflow families must
+finish in **under 10 seconds** — an analyzer slower than the test suite
+it gates would get turned off, which is worse than any false negative.
+
+Work counters (modules, functions, diagnostics) ride along as
+``extra_info`` so a wall-time move is attributable: more modules is
+growth, more fixpoint rounds is an engine regression.
+"""
+
+import os
+
+from repro.analysis.diagnostics import DiagnosticSink
+from repro.analysis.project import Project
+from repro.analysis.simlint import lint_paths
+from repro.analysis.svc import check_service_atomicity
+from repro.analysis.taint import check_determinism_taint
+from repro.analysis.units_check import check_units
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+#: The CI wall budget for one full analysis sweep (lint + dataflow).
+WALL_BUDGET_SECONDS = 10.0
+
+
+def _full_sweep():
+    sink = DiagnosticSink()
+    lint_paths([SRC], sink=sink)
+    project = Project.load([SRC])
+    check_determinism_taint(project, sink=sink)
+    check_service_atomicity(project, sink=sink)
+    check_units(project, sink=sink)
+    return project, sink.sorted()
+
+
+def test_project_model_build(benchmark):
+    project = benchmark.pedantic(
+        Project.load, args=([SRC],), rounds=3, iterations=1, warmup_rounds=1
+    )
+    assert len(project.modules) > 50
+    benchmark.extra_info.update(
+        {
+            "modules": len(project.modules),
+            "functions": len(project.functions),
+        }
+    )
+
+
+def test_determinism_taint_pass(benchmark):
+    project = Project.load([SRC])
+    diagnostics = benchmark.pedantic(
+        check_determinism_taint,
+        args=(project,),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["diagnostics"] = len(diagnostics)
+
+
+def test_full_analysis_sweep_under_wall_budget(benchmark):
+    (project, diagnostics) = benchmark.pedantic(
+        _full_sweep, rounds=3, iterations=1, warmup_rounds=1
+    )
+    median = benchmark.stats.stats.median
+    assert median < WALL_BUDGET_SECONDS, (
+        f"full analysis sweep took {median:.1f}s "
+        f"(budget {WALL_BUDGET_SECONDS:.0f}s)"
+    )
+    benchmark.extra_info.update(
+        {
+            "modules": len(project.modules),
+            "diagnostics": len(diagnostics),
+        }
+    )

@@ -1,0 +1,219 @@
+"""``--fix`` — mechanical autofix for the magic-literal rule (SIM106).
+
+The one simlint rule whose fix is purely mechanical is SIM106: a raw
+magnitude literal (``4096``, ``2**30``, ``1e9``) has exactly one
+idiomatic spelling in terms of the :mod:`repro.units` constants
+(``4 * KiB``, ``GiB``, ``GIGA``).  The fixer
+
+* finds the same nodes the linter flags (same predicates, same
+  ``units.py`` exemption, same ``# noqa`` suppressions),
+* rewrites each span right-to-left so earlier offsets stay valid,
+  parenthesizing compound replacements (``x / 4096`` must become
+  ``x / (4 * KiB)``, not ``x / 4 * KiB``),
+* and ensures ``from repro.units import ...`` covers the names it used —
+  extending an existing import line or inserting one after the last
+  top-level import.
+
+The transformation is **idempotent**: the rewritten spellings contain no
+magic literals, so a second pass finds nothing to do.  Anything
+non-mechanical (which unit family a strange constant belongs to) is out
+of scope — the literal is left alone and keeps its diagnostic.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.noqa import ALL_CODES, noqa_lines
+from repro.analysis.simlint import (
+    UNITS_MODULES,
+    _is_magic_magnitude,
+    _module_from_path,
+    iter_python_files,
+)
+from repro.units import KB, KiB
+
+#: (line, col, end_line, end_col) -> replacement text.
+_Span = Tuple[int, int, int, int]
+
+_POW2_UNITS = ("KiB", "MiB", "GiB", "TiB")
+_POW10_UNITS = ("KB", "MB", "GB", "TB")
+
+
+def _pow2_spelling(value: int) -> Optional[Tuple[str, List[str]]]:
+    """Spelling for an exact power of two >= 1024, or None."""
+    exponent = value.bit_length() - 1
+    if value != 1 << exponent or exponent < 10:
+        return None
+    tier = min(exponent // 10, len(_POW2_UNITS))
+    unit = _POW2_UNITS[tier - 1]
+    multiplier = 1 << (exponent - 10 * tier)
+    if multiplier == 1:
+        return unit, [unit]
+    return f"{multiplier} * {unit}", [unit]
+
+
+def _pow10_spelling(value: int, as_float: bool) -> Optional[Tuple[str, List[str]]]:
+    """Spelling for an exact power of ten >= 1e6, or None.
+
+    Integer powers of ten become the SI byte constants (``GB``); float
+    spellings (``1e9``) become the scale factors ``MEGA``/``GIGA`` the
+    bandwidth code uses.
+    """
+    text = str(value)
+    if set(text[1:]) != {"0"} or text[0] != "1":
+        return None
+    exponent = len(text) - 1
+    if exponent < 6:
+        return None
+    if as_float:
+        base, base_exp = ("GIGA", 9) if exponent >= 9 else ("MEGA", 6)
+        multiplier = 10 ** (exponent - base_exp)
+        if multiplier == 1:
+            return base, [base]
+        return f"{multiplier} * {base}", [base]
+    tier = min(exponent // 3, len(_POW10_UNITS))
+    unit = _POW10_UNITS[tier - 1]
+    multiplier = 10 ** (exponent - 3 * tier)
+    if multiplier == 1:
+        return unit, [unit]
+    return f"{multiplier} * {unit}", [unit]
+
+
+def _spelling_for_constant(value: object) -> Optional[Tuple[str, List[str]]]:
+    if isinstance(value, bool) or not _is_magic_magnitude(value):
+        return None
+    if isinstance(value, int):
+        return _pow2_spelling(value)
+    as_int = int(value)
+    return _pow2_spelling(as_int) or _pow10_spelling(as_int, as_float=True)
+
+
+def _spelling_for_power(base: int, exponent: int) -> Optional[Tuple[str, List[str]]]:
+    if base == 2 and exponent >= 10:
+        return _pow2_spelling(2**exponent)
+    if base == 10 and exponent >= 6:
+        return _pow10_spelling(10**exponent, as_float=False)
+    if base == KiB and 1 <= exponent <= len(_POW2_UNITS):
+        return _POW2_UNITS[exponent - 1], [_POW2_UNITS[exponent - 1]]
+    if base == KB and 1 <= exponent <= len(_POW10_UNITS):
+        return _POW10_UNITS[exponent - 1], [_POW10_UNITS[exponent - 1]]
+    return None
+
+
+class _FixCollector(ast.NodeVisitor):
+    def __init__(self, suppressed: Dict[int, set]) -> None:
+        self.suppressed = suppressed
+        self.spans: List[Tuple[_Span, str]] = []
+        self.names: List[str] = []
+
+    def _suppressed(self, node: ast.AST) -> bool:
+        codes = self.suppressed.get(node.lineno, set())
+        return ALL_CODES in codes or "SIM106" in codes
+
+    def _add(self, node: ast.AST, spelling: Tuple[str, List[str]]) -> None:
+        if node.lineno != node.end_lineno:  # multi-line spans: leave alone
+            return
+        text, names = spelling
+        if " " in text:
+            text = f"({text})"
+        self.spans.append(
+            (
+                (node.lineno, node.col_offset, node.end_lineno, node.end_col_offset),
+                text,
+            )
+        )
+        self.names.extend(names)
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if self._suppressed(node):
+            return
+        spelling = _spelling_for_constant(node.value)
+        if spelling is not None:
+            self._add(node, spelling)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if (
+            isinstance(node.op, ast.Pow)
+            and isinstance(node.left, ast.Constant)
+            and isinstance(node.right, ast.Constant)
+            and isinstance(node.left.value, int)
+            and isinstance(node.right.value, int)
+            and not self._suppressed(node)
+        ):
+            spelling = _spelling_for_power(node.left.value, node.right.value)
+            if spelling is not None:
+                self._add(node, spelling)
+                return  # the operand constants are part of this fix
+        self.generic_visit(node)
+
+
+_IMPORT_RE = re.compile(r"^from repro\.units import (?P<names>[\w, ]+)$")
+
+
+def _ensure_import(source: str, names: List[str]) -> str:
+    """Make ``from repro.units import ...`` cover *names*."""
+    wanted = sorted(set(names))
+    if not wanted:
+        return source
+    lines = source.splitlines(keepends=True)
+    for index, line in enumerate(lines):
+        match = _IMPORT_RE.match(line.rstrip("\n"))
+        if match:
+            existing = [n.strip() for n in match.group("names").split(",")]
+            merged = sorted(set(existing) | set(wanted))
+            if merged == sorted(existing):
+                return source
+            newline = "\n" if line.endswith("\n") else ""
+            lines[index] = f"from repro.units import {', '.join(merged)}{newline}"
+            return "".join(lines)
+    # No existing import line: insert after the last top-level import.
+    tree = ast.parse(source)
+    insert_after = 0
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            insert_after = stmt.end_lineno or stmt.lineno
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            insert_after = max(insert_after, stmt.end_lineno or stmt.lineno)
+        else:
+            break
+    new_line = f"from repro.units import {', '.join(wanted)}\n"
+    lines.insert(insert_after, new_line)
+    return "".join(lines)
+
+
+def fix_source(source: str, module: str) -> Tuple[str, int]:
+    """``(fixed_source, fix_count)`` for one module's source."""
+    if module.split(".")[-1] in UNITS_MODULES:
+        return source, 0
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, 0
+    collector = _FixCollector(noqa_lines(source))
+    collector.visit(tree)
+    if not collector.spans:
+        return source, 0
+    lines = source.splitlines(keepends=True)
+    for (line, col, _end_line, end_col), text in sorted(
+        collector.spans, reverse=True
+    ):
+        row = lines[line - 1]
+        lines[line - 1] = row[:col] + text + row[end_col:]
+    return _ensure_import("".join(lines), collector.names), len(collector.spans)
+
+
+def fix_paths(paths: Sequence[str]) -> Dict[str, int]:
+    """Apply SIM106 fixes in place; ``{path: fixes}`` for changed files."""
+    changed: Dict[str, int] = {}
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        fixed, count = fix_source(source, _module_from_path(path))
+        if count and fixed != source:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(fixed)
+            changed[path] = count
+    return changed

@@ -1,0 +1,142 @@
+"""Baseline suppression: adopt the analyzers without a flag day.
+
+A *baseline file* records the findings a repository has accepted (or not
+yet fixed).  With a baseline loaded, the CLI fails only on **new**
+findings — existing debt stays visible in ``--format json``/``sarif``
+output but does not break CI.  This is how a whole-program analyzer can
+gate a tree that predates it.
+
+Matching is deliberately **line-number independent**: a finding is
+identified by ``(code, normalized path, message)``, so unrelated edits
+above a baselined finding do not resurrect it.  Messages include the
+enclosing function name, which keeps the key stable under line churn but
+specific enough that a *second* identical violation in another function
+is still new.  The committed file is ``analysis-baseline.json`` at the
+repository root; the CLI auto-loads it from the working directory (or
+``--baseline PATH`` explicitly, ``--no-baseline`` to see everything).
+
+Refresh with ``python -m repro.analysis --write-baseline`` after fixing
+or accepting findings; the file is sorted and stable so diffs review
+cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Default committed baseline filename (repository root).
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+_FORMAT_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+def _normalize_path(path: str) -> str:
+    # Keys must match no matter how the tree was addressed: relativize
+    # absolute paths against the working directory (where the baseline
+    # file lives) so ``repro.analysis src/`` and ``repro.analysis
+    # /abs/path/src/`` agree on identity.
+    if path and os.path.isabs(path):
+        try:
+            relative = os.path.relpath(path, os.getcwd())
+        except ValueError:
+            relative = path
+        if not relative.startswith(".."):
+            path = relative
+    path = path.replace("\\", "/")
+    while path.startswith("./"):
+        path = path[2:]
+    return path.lstrip("/")
+
+
+def finding_key(diagnostic: Diagnostic) -> Key:
+    """The line-independent identity of a finding."""
+    return (
+        diagnostic.code,
+        _normalize_path(diagnostic.path or ""),
+        diagnostic.message,
+    )
+
+
+class Baseline:
+    """A set of accepted finding keys."""
+
+    def __init__(self, keys: Iterable[Key] = ()) -> None:
+        self.keys: Set[Key] = set(keys)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __contains__(self, diagnostic: Diagnostic) -> bool:
+        return finding_key(diagnostic) in self.keys
+
+    # -- partitioning ------------------------------------------------------
+    def split(
+        self, diagnostics: Iterable[Diagnostic]
+    ) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+        """``(new, baselined)`` partition of *diagnostics*."""
+        new: List[Diagnostic] = []
+        old: List[Diagnostic] = []
+        for diagnostic in diagnostics:
+            (old if diagnostic in self else new).append(diagnostic)
+        return new, old
+
+    def unused(self, diagnostics: Iterable[Diagnostic]) -> List[Key]:
+        """Baseline entries no current finding matches (fixed debt)."""
+        present = {finding_key(d) for d in diagnostics}
+        return sorted(self.keys - present)
+
+    # -- serialization -----------------------------------------------------
+    @classmethod
+    def from_diagnostics(cls, diagnostics: Iterable[Diagnostic]) -> "Baseline":
+        return cls(finding_key(d) for d in diagnostics)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ValueError(f"{path}: not a baseline file")
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r}"
+            )
+        keys = []
+        for entry in payload["findings"]:
+            keys.append(
+                (
+                    str(entry["code"]),
+                    _normalize_path(str(entry["path"])),
+                    str(entry["message"]),
+                )
+            )
+        return cls(keys)
+
+    def dump(self, path: str) -> None:
+        payload: Dict[str, Any] = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Accepted analysis findings; CI fails only on findings "
+                "not listed here. Refresh: python -m repro.analysis "
+                "--write-baseline"
+            ),
+            "findings": [
+                {"code": code, "path": norm_path, "message": message}
+                for code, norm_path, message in sorted(self.keys)
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+
+def find_default_baseline(cwd: str = ".") -> str:
+    """Path to the auto-loaded baseline file, or ``""`` if absent."""
+    candidate = os.path.join(cwd, DEFAULT_BASELINE)
+    return candidate if os.path.isfile(candidate) else ""

@@ -1,0 +1,594 @@
+"""Intra-procedural dataflow engine: reaching definitions + taint labels.
+
+The engine is deliberately small and deliberately *may*-analysis: it walks
+one function body at a time, tracking for every local variable (and every
+``self.attr`` slot) the set of **taint labels** that may reach it.  Labels
+are opaque strings owned by the analyzers ("host-clock", "rng",
+"iter-order", ...), plus the reserved ``param:<name>`` labels the engine
+seeds parameters with so it can summarize *flow-through*: if ``param:x``
+reaches the function's return value, callers know an argument's taint
+survives the call; if it reaches a sink, callers know the call site itself
+feeds a sink.
+
+Those :class:`Summary` records are what make the analysis whole-program
+without whole-program cost: the driver (:func:`run_taint_analysis`)
+iterates per-function walks to a fixpoint over the project's call graph —
+monotone, because label sets only grow — then does one final pass that
+emits :class:`Hit` records for tainted expressions reaching sinks.
+
+Analyzer-specific knowledge (what is a source, a sink, a sanitizer, which
+labels are order-sensitive vs value-sensitive) lives in a *policy* object
+(see :class:`TaintPolicy`); the engine owns only the propagation rules:
+
+* assignments, tuple unpacking, augmented assignment, ``with ... as``;
+* branch joins (``if``/``try``) by label-set union, loops to a bounded
+  fixpoint;
+* container mutation (``x.append(v)`` taints ``x``), with the twist that
+  **order labels die at dict stores** — this codebase serializes every
+  payload with ``sort_keys=True`` (:func:`repro.obs.store.canonical_json`),
+  so putting a value in a dict forgets iteration order, while appending to
+  a list preserves it;
+* calls, through the policy: intrinsic source labels, sanitizers
+  (``sorted`` strips order labels), project-function summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.project import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    dotted_name,
+)
+
+#: Reserved label prefix for parameter-flow tracking.
+PARAM_PREFIX = "param:"
+
+#: Upper bound on loop/fixpoint iterations inside one function body.
+_MAX_LOOP_PASSES = 8
+
+#: Upper bound on summary fixpoint rounds over the whole project.
+_MAX_SUMMARY_ROUNDS = 12
+
+#: Container methods that write their arguments into the receiver.
+_LIST_MUTATORS = {"append", "extend", "insert", "appendleft", "add", "push"}
+_DICT_MUTATORS = {"update", "setdefault"}
+
+#: Methods that establish a deterministic order on the receiver.
+_ORDERING_METHODS = {"sort"}
+
+
+def param_label(name: str) -> str:
+    return f"{PARAM_PREFIX}{name}"
+
+
+def is_param_label(label: str) -> bool:
+    return label.startswith(PARAM_PREFIX)
+
+
+def real_labels(labels: Set[str]) -> Set[str]:
+    return {label for label in labels if not is_param_label(label)}
+
+
+@dataclass(frozen=True)
+class Summary:
+    """What a function does with taint, as seen from a call site."""
+
+    #: Labels that may reach the return value.  ``param:<name>`` entries
+    #: mean "whatever taint the corresponding argument carries".
+    return_taints: FrozenSet[str] = frozenset()
+    #: Parameter name -> sink label: passing a tainted argument here feeds
+    #: a sink inside the callee (possibly through further calls).
+    sink_params: Tuple[Tuple[str, str], ...] = ()
+
+    def sink_map(self) -> Dict[str, str]:
+        return dict(self.sink_params)
+
+
+@dataclass
+class Hit:
+    """One tainted value reaching a sink."""
+
+    module: ModuleInfo
+    node: ast.AST
+    labels: FrozenSet[str]
+    sink: str
+    #: Qualified name of the function containing the sink expression.
+    function: str
+    #: Human-readable chain note ("via helper repro.x.y") when the sink is
+    #: inside a callee rather than at this expression.
+    via: str = ""
+
+
+class TaintPolicy:
+    """Base policy: analyzers override the hooks they care about."""
+
+    #: Labels that encode *ordering* rather than value nondeterminism —
+    #: they are dropped at dict stores and by order-insensitive reducers.
+    order_labels: FrozenSet[str] = frozenset()
+
+    def module_exempt(self, module: ModuleInfo) -> bool:
+        """Exempt modules produce no hits and empty summaries (their whole
+        API is sanctioned)."""
+        return False
+
+    def source_taints(
+        self, resolved: Optional[str], call: ast.Call, walker: "TaintWalker"
+    ) -> Set[str]:
+        """Labels this call introduces out of thin air."""
+        return set()
+
+    def sanitized_labels(
+        self, resolved: Optional[str], call: ast.Call
+    ) -> Set[str]:
+        """Labels this call removes from its propagated result."""
+        return set()
+
+    def sink_args(
+        self, resolved: Optional[str], call: ast.Call, walker: "TaintWalker"
+    ) -> List[Tuple[ast.AST, str, FrozenSet[str]]]:
+        """(argument expression, sink label, labels that trigger) triples."""
+        return []
+
+    def iteration_taints(
+        self, iter_expr: ast.AST, walker: "TaintWalker"
+    ) -> Set[str]:
+        """Labels acquired by loop targets iterating *iter_expr*."""
+        return set()
+
+    def statement_check(
+        self, stmt: ast.stmt, walker: "TaintWalker"
+    ) -> None:
+        """Arbitrary per-statement hook (e.g. file-write pattern checks)."""
+
+
+class TaintWalker:
+    """Walks one function (or module top level) propagating label sets."""
+
+    def __init__(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        policy: TaintPolicy,
+        summaries: Dict[str, Summary],
+        function: Optional[FunctionInfo] = None,
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.policy = policy
+        self.summaries = summaries
+        self.function = function
+        self.env: Dict[str, Set[str]] = {}
+        #: name -> "list" | "dict" | "set" when statically known.
+        self.kinds: Dict[str, str] = {}
+        self.return_taints: Set[str] = set()
+        self.sink_params: Dict[str, str] = {}
+        self.hits: List[Hit] = []
+        if function is not None:
+            for name in function.params:
+                self.env[name] = {param_label(name)}
+
+    # -- public ----------------------------------------------------------
+    def run(self) -> None:
+        body = (
+            self.function.node.body
+            if self.function is not None
+            else self.module.tree.body
+        )
+        self._exec_block(body)
+
+    def summary(self) -> Summary:
+        return Summary(
+            return_taints=frozenset(self.return_taints),
+            sink_params=tuple(sorted(self.sink_params.items())),
+        )
+
+    # -- environment helpers ----------------------------------------------
+    def _get(self, key: str) -> Set[str]:
+        return self.env.get(key, set())
+
+    def _bind(self, target: ast.AST, labels: Set[str]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(labels)
+        elif isinstance(target, ast.Attribute):
+            key = dotted_name(target)
+            if key is not None:
+                self.env[key] = set(labels)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, labels)
+        elif isinstance(target, ast.Subscript):
+            key = dotted_name(target.value)
+            if key is None:
+                return
+            stored = set(labels)
+            if self.kinds.get(key) == "dict":
+                stored -= self.policy.order_labels
+            self.env[key] = self._get(key) | stored
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, labels)
+
+    def _note_kind(self, target: ast.AST, value: Optional[ast.AST]) -> None:
+        if not isinstance(target, ast.Name) or value is None:
+            return
+        kind = None
+        if isinstance(value, (ast.Dict, ast.DictComp)):
+            kind = "dict"
+        elif isinstance(value, (ast.List, ast.ListComp)):
+            kind = "list"
+        elif isinstance(value, (ast.Set, ast.SetComp)):
+            kind = "set"
+        elif isinstance(value, ast.Call):
+            dotted = dotted_name(value.func)
+            resolved = (
+                self.module.imports.resolve(dotted) if dotted else None
+            )
+            if resolved in ("dict", "collections.defaultdict", "collections.OrderedDict", "collections.Counter"):
+                kind = "dict"
+            elif resolved == "list":
+                kind = "list"
+            elif resolved in ("set", "frozenset"):
+                kind = "set"
+        if kind is not None:
+            self.kinds[target.id] = kind
+
+    # -- statements --------------------------------------------------------
+    def _exec_block(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: ast.stmt) -> None:
+        self.policy.statement_check(stmt, self)
+        if isinstance(stmt, ast.Assign):
+            labels = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._note_kind(target, stmt.value)
+                self._bind(target, labels)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._note_kind(stmt.target, stmt.value)
+                self._bind(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            labels = self.eval(stmt.value)
+            key = dotted_name(stmt.target)
+            if key is not None:
+                self.env[key] = self._get(key) | labels
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.return_taints |= self.eval(stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            before = {k: set(v) for k, v in self.env.items()}
+            self.eval(stmt.test)
+            self._exec_block(stmt.body)
+            after_body = self.env
+            self.env = before
+            self._exec_block(stmt.orelse)
+            self._merge(after_body)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_labels = self.eval(stmt.iter) | self.policy.iteration_taints(
+                stmt.iter, self
+            )
+            for _ in range(_MAX_LOOP_PASSES):
+                snapshot = self._snapshot()
+                self._bind(stmt.target, iter_labels | self.eval(stmt.iter))
+                self._exec_block(stmt.body)
+                if self._snapshot() == snapshot:
+                    break
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            for _ in range(_MAX_LOOP_PASSES):
+                snapshot = self._snapshot()
+                self.eval(stmt.test)
+                self._exec_block(stmt.body)
+                if self._snapshot() == snapshot:
+                    break
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                labels = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, labels)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body)
+            self._exec_block(stmt.orelse)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes get their own walk
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child)
+
+    def _snapshot(self) -> Dict[str, FrozenSet[str]]:
+        return {k: frozenset(v) for k, v in self.env.items()}
+
+    def _merge(self, other: Dict[str, Set[str]]) -> None:
+        for key, labels in other.items():
+            self.env[key] = self._get(key) | labels
+
+    # -- expressions -------------------------------------------------------
+    def eval(self, node: Optional[ast.AST]) -> Set[str]:
+        if node is None:
+            return set()
+        if isinstance(node, ast.Name):
+            return set(self._get(node.id))
+        if isinstance(node, ast.Attribute):
+            key = dotted_name(node)
+            if key is not None and key in self.env:
+                return set(self.env[key])
+            return self.eval(node.value)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, (ast.BinOp,)):
+            return self.eval(node.left) | self.eval(node.right)
+        if isinstance(node, ast.BoolOp):
+            out: Set[str] = set()
+            for value in node.values:
+                out |= self.eval(value)
+            return out
+        if isinstance(node, ast.Compare):
+            out = self.eval(node.left)
+            for comparator in node.comparators:
+                out |= self.eval(comparator)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return self.eval(node.body) | self.eval(node.orelse)
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value) | self.eval(node.slice)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for element in node.elts:
+                out |= self.eval(element)
+            return out
+        if isinstance(node, ast.Dict):
+            out = set()
+            for key in node.keys:
+                out |= self.eval(key)
+            for value in node.values:
+                # Values stored under dict keys lose order sensitivity
+                # (payloads serialize with sort_keys=True).
+                out |= self.eval(value) - self.policy.order_labels
+            return out
+        if isinstance(node, ast.JoinedStr):
+            out = set()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self.eval(value.value)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node, node.elt)
+        if isinstance(node, ast.DictComp):
+            labels = self._eval_comprehension(node, node.value)
+            return labels - self.policy.order_labels
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.Slice):
+            return self.eval(node.lower) | self.eval(node.upper) | self.eval(node.step)
+        if isinstance(node, ast.Lambda):
+            return set()
+        if isinstance(node, ast.Await):
+            return self.eval(node.value)
+        return set()
+
+    def _eval_comprehension(self, node: ast.AST, elt: ast.expr) -> Set[str]:
+        saved = {k: set(v) for k, v in self.env.items()}
+        try:
+            for generator in node.generators:
+                labels = self.eval(generator.iter) | self.policy.iteration_taints(
+                    generator.iter, self
+                )
+                self._bind(generator.target, labels)
+                for condition in generator.ifs:
+                    self.eval(condition)
+            out = self.eval(elt)
+            if isinstance(node, ast.DictComp):
+                out |= self.eval(node.key)
+            if isinstance(node, ast.SetComp):
+                out -= self.policy.order_labels
+            return out
+        finally:
+            self.env = saved
+
+    # -- calls -------------------------------------------------------------
+    def _eval_call(self, call: ast.Call) -> Set[str]:
+        dotted = dotted_name(call.func)
+        resolved = self.module.imports.resolve(dotted) if dotted else None
+        arg_labels = [self.eval(arg) for arg in call.args]
+        kwarg_labels = {
+            kw.arg: self.eval(kw.value) for kw in call.keywords
+        }
+        combined: Set[str] = set()
+        for labels in arg_labels:
+            combined |= labels
+        for labels in kwarg_labels.values():
+            combined |= labels
+
+        # Receiver mutation: x.append(v) taints x; x.sort() orders x.
+        self._apply_mutators(call, combined)
+
+        # Policy sinks at this very call.
+        for arg_node, sink, trigger in self.policy.sink_args(
+            resolved, call, self
+        ):
+            labels = self.eval(arg_node)
+            hot = real_labels(labels) & trigger
+            if hot:
+                self._hit(arg_node, hot, sink)
+            for label in labels:
+                if is_param_label(label):
+                    self.sink_params.setdefault(
+                        label[len(PARAM_PREFIX):], sink
+                    )
+
+        # Project-function summary: substitute parameter flow.
+        summary_result = self._apply_summary(call, arg_labels, kwarg_labels)
+        if summary_result is not None:
+            result = summary_result
+        else:
+            result = set(combined)
+
+        # Method calls propagate the receiver's labels: ``future.result()``
+        # on a completion-order future is still completion-ordered.
+        if isinstance(call.func, ast.Attribute):
+            receiver = dotted_name(call.func.value)
+            if receiver is not None:
+                result |= self._get(receiver)
+
+        result |= self.policy.source_taints(resolved, call, self)
+        result -= self.policy.sanitized_labels(resolved, call)
+        return result
+
+    def _apply_mutators(self, call: ast.Call, arg_taints: Set[str]) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = dotted_name(func.value)
+        if receiver is None:
+            return
+        if func.attr in _LIST_MUTATORS:
+            self.env[receiver] = self._get(receiver) | arg_taints
+        elif func.attr in _DICT_MUTATORS:
+            self.env[receiver] = self._get(receiver) | (
+                arg_taints - self.policy.order_labels
+            )
+        elif func.attr in _ORDERING_METHODS:
+            self.env[receiver] = (
+                self._get(receiver) - self.policy.order_labels
+            )
+
+    def _apply_summary(
+        self,
+        call: ast.Call,
+        arg_labels: List[Set[str]],
+        kwarg_labels: Dict[Optional[str], Set[str]],
+    ) -> Optional[Set[str]]:
+        callee = self.project.function_for_call(call, self.module)
+        if callee is None:
+            return None
+        summary = self.summaries.get(callee.qualname)
+        if summary is None:
+            return None
+        params = callee.params
+        offset = 0
+        if params and params[0] in ("self", "cls") and isinstance(
+            call.func, ast.Attribute
+        ):
+            offset = 1
+        by_param: Dict[str, Tuple[ast.AST, Set[str]]] = {}
+        for index, labels in enumerate(arg_labels):
+            position = index + offset
+            if position < len(params):
+                by_param[params[position]] = (call.args[index], labels)
+        for kw in call.keywords:
+            if kw.arg is not None:
+                by_param[kw.arg] = (kw.value, kwarg_labels.get(kw.arg, set()))
+
+        # Sinks inside the callee: check the matching arguments here.
+        for param, sink in summary.sink_map().items():
+            entry = by_param.get(param)
+            if entry is None:
+                continue
+            arg_node, labels = entry
+            hot = real_labels(labels)
+            if hot:
+                self._hit(
+                    arg_node,
+                    hot,
+                    sink,
+                    via=f"via {callee.qualname}()",
+                )
+            for label in labels:
+                if is_param_label(label):
+                    self.sink_params.setdefault(
+                        label[len(PARAM_PREFIX):], sink
+                    )
+
+        # Return taints: intrinsic labels plus substituted parameter flow.
+        result: Set[str] = set()
+        for label in summary.return_taints:
+            if is_param_label(label):
+                entry = by_param.get(label[len(PARAM_PREFIX):])
+                if entry is not None:
+                    result |= entry[1]
+            else:
+                result.add(label)
+        return result
+
+    def _hit(
+        self, node: ast.AST, labels: Set[str], sink: str, via: str = ""
+    ) -> None:
+        qual = self.function.qualname if self.function else self.module.name
+        self.hits.append(
+            Hit(
+                module=self.module,
+                node=node,
+                labels=frozenset(labels),
+                sink=sink,
+                function=qual,
+                via=via,
+            )
+        )
+
+
+def compute_summaries(
+    project: Project, policy: TaintPolicy
+) -> Dict[str, Summary]:
+    """Fixpoint of per-function summaries over the whole project."""
+    summaries: Dict[str, Summary] = {}
+    order = sorted(project.functions)
+    for _ in range(_MAX_SUMMARY_ROUNDS):
+        changed = False
+        for qualname in order:
+            function = project.functions[qualname]
+            module = project.modules[function.module]
+            if policy.module_exempt(module):
+                new = Summary()
+            else:
+                walker = TaintWalker(
+                    project, module, policy, summaries, function
+                )
+                walker.run()
+                new = walker.summary()
+            if summaries.get(qualname) != new:
+                summaries[qualname] = new
+                changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def run_taint_analysis(
+    project: Project, policy: TaintPolicy
+) -> List[Hit]:
+    """Summaries to fixpoint, then one hit-collecting pass per function
+    and per module top level."""
+    summaries = compute_summaries(project, policy)
+    hits: List[Hit] = []
+    for name in sorted(project.modules):
+        module = project.modules[name]
+        if policy.module_exempt(module):
+            continue
+        top = TaintWalker(project, module, policy, summaries, None)
+        top.run()
+        hits.extend(top.hits)
+        for function in module.functions:
+            walker = TaintWalker(
+                project, module, policy, summaries, function
+            )
+            walker.run()
+            hits.extend(walker.hits)
+    return hits

@@ -1,0 +1,480 @@
+"""Whole-program project model for the dataflow analyzers.
+
+The PR-1 lint rules (``SIM1xx``) are strictly per-file: they see one AST at
+a time and can only pattern-match syntax.  The dataflow rule families
+(``SIM2xx`` determinism taint, ``SVC4xx`` service atomicity, ``UNIT6xx``
+dimension checking) need to reason *across* files — a host-clock read in a
+helper function is only a bug once some caller feeds the helper's return
+value into a store record — so this module builds the shared project view
+they all query:
+
+* **modules** — every ``*.py`` file under the analyzed roots, parsed once,
+  with a repro-anchored dotted name (``repro.sim.flow``), its source text,
+  and its import alias table;
+* **module graph** — which repro modules each module imports (including
+  relative imports), plus :meth:`Project.import_cycles` over it;
+* **symbol tables** — the top-level functions, classes, and assignments of
+  each module, with ``from x import y`` re-exports through ``__init__.py``
+  resolved to their defining module;
+* **function index + call resolution** — a table of every function and
+  method keyed by qualified name, and a best-effort resolver from a call
+  expression to the :class:`FunctionInfo` it invokes, which is what lets
+  the taint engine propagate through chained helper calls.
+
+Everything here is stdlib-``ast`` only and read-only: the model is built
+once per CLI invocation and shared by all dataflow analyzers.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+def module_name_from_path(path: str) -> str:
+    """Dotted module name for *path*, anchored at ``repro`` when possible.
+
+    ``src/repro/sim/flow.py`` -> ``repro.sim.flow``; paths outside a
+    ``repro`` tree fall back to their path-derived name so ad-hoc test
+    files still get stable, distinct names.
+    """
+    normalized = path.replace(os.sep, "/")
+    stem = normalized[:-3] if normalized.endswith(".py") else normalized
+    parts = [p for p in stem.split("/") if p not in ("", ".", "..")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    elif "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    return ".".join(parts) or "<unknown>"
+
+
+def package_of(module: str) -> str:
+    """First component under ``repro`` ("sim", "service", ...), else stem."""
+    parts = module.split(".")
+    if "repro" in parts:
+        index = parts.index("repro")
+        if index + 1 < len(parts):
+            return parts[index + 1]
+    return parts[-1]
+
+
+@dataclass
+class ImportTable:
+    """Alias table for one module: local name -> fully dotted origin."""
+
+    module: str
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+    def _resolve_relative(self, level: int, target: Optional[str]) -> str:
+        """Absolute dotted base for a ``from . import x``-style import."""
+        parts = self.module.split(".")
+        # level 1 = current package; the module's own name is not a package
+        # component unless it *is* a package (__init__), which the loader
+        # already normalized away.
+        base = parts[: len(parts) - level] if level <= len(parts) else []
+        if target:
+            base = base + target.split(".")
+        return ".".join(base)
+
+    def add_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self.aliases[alias.asname] = alias.name
+            else:
+                head = alias.name.split(".")[0]
+                self.aliases[head] = head
+
+    def add_import_from(self, node: ast.ImportFrom) -> None:
+        base = (
+            self._resolve_relative(node.level, node.module)
+            if node.level
+            else (node.module or "")
+        )
+        if not base:
+            return
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self.aliases[alias.asname or alias.name] = f"{base}.{alias.name}"
+
+    def resolve(self, dotted: str) -> str:
+        """Expand the leading alias of *dotted* if one is known."""
+        head, _, rest = dotted.partition(".")
+        origin = self.aliases.get(head, head)
+        return f"{origin}.{rest}" if rest else origin
+
+    def imported_modules(self) -> Set[str]:
+        """Dotted module prefixes this module references (repro + stdlib)."""
+        found: Set[str] = set()
+        for origin in self.aliases.values():
+            found.add(origin)
+        return found
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    qualname: str  #: ``repro.sim.flow.FlowNetwork._recompute`` style.
+    module: str
+    name: str
+    node: ast.AST  #: FunctionDef / AsyncFunctionDef.
+    cls: Optional[str] = None  #: Enclosing class name, if a method.
+
+    @property
+    def params(self) -> List[str]:
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the project."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    imports: ImportTable
+    #: Top-level name -> what it is bound to: a function/class qualname
+    #: defined here, or a re-exported dotted origin.
+    symbols: Dict[str, str] = field(default_factory=dict)
+    #: Top-level assignments of mutable containers: name -> AST node.
+    mutable_globals: Dict[str, ast.AST] = field(default_factory=dict)
+    functions: List[FunctionInfo] = field(default_factory=list)
+
+    @property
+    def package(self) -> str:
+        return package_of(self.name)
+
+
+_MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "collections.defaultdict",
+    "collections.Counter",
+    "collections.deque",
+    "collections.OrderedDict",
+}
+
+
+def _is_mutable_literal(node: ast.AST, imports: ImportTable) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is not None and imports.resolve(dotted) in _MUTABLE_CONSTRUCTORS:
+            return True
+    return False
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+#: Method names too generic to resolve by uniqueness — ``x.get(...)`` on a
+#: plain dict must not accidentally bind to the one project method named
+#: ``get``.
+COMMON_METHOD_NAMES: Set[str] = {
+    "get",
+    "put",
+    "pop",
+    "append",
+    "add",
+    "extend",
+    "update",
+    "insert",
+    "remove",
+    "discard",
+    "clear",
+    "copy",
+    "keys",
+    "values",
+    "items",
+    "sort",
+    "index",
+    "count",
+    "open",
+    "close",
+    "read",
+    "write",
+    "run",
+    "start",
+    "stop",
+    "join",
+    "submit",
+    "send",
+    "recv",
+    "flush",
+    "setdefault",
+}
+
+
+class Project:
+    """The analyzed program: parsed modules, imports, symbols, functions."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: method name -> FunctionInfos sharing it (for attr-call fallback).
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def load(cls, paths: Sequence[str]) -> "Project":
+        """Parse every ``*.py`` file under *paths* into a project model."""
+        from repro.analysis.simlint import iter_python_files
+
+        project = cls()
+        for filename in iter_python_files(list(paths)):
+            try:
+                with open(filename, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError:
+                continue
+            project.add_source(source, filename)
+        project.finalize()
+        return project
+
+    @classmethod
+    def from_sources(cls, sources: Dict[str, str]) -> "Project":
+        """Build a project from ``{path: source}`` (test convenience)."""
+        project = cls()
+        for path in sorted(sources):
+            project.add_source(sources[path], path)
+        project.finalize()
+        return project
+
+    def add_source(self, source: str, path: str) -> Optional[ModuleInfo]:
+        """Parse and register one module; unparsable files are skipped
+        (simlint reports SIM100 for them)."""
+        name = module_name_from_path(path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            return None
+        imports = ImportTable(module=name)
+        info = ModuleInfo(
+            name=name, path=path, source=source, tree=tree, imports=imports
+        )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                imports.add_import(node)
+            elif isinstance(node, ast.ImportFrom):
+                imports.add_import_from(node)
+        self._index_top_level(info)
+        self._index_functions(info)
+        self.modules[name] = info
+        return info
+
+    def _index_top_level(self, info: ModuleInfo) -> None:
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                info.symbols[node.name] = f"{info.name}.{node.name}"
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                base = node.module or ""
+                for alias in node.names:
+                    if alias.name != "*" and base:
+                        info.symbols[alias.asname or alias.name] = (
+                            f"{base}.{alias.name}"
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.level:
+                base = info.imports._resolve_relative(node.level, node.module)
+                for alias in node.names:
+                    if alias.name != "*" and base:
+                        info.symbols[alias.asname or alias.name] = (
+                            f"{base}.{alias.name}"
+                        )
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                value = node.value
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    info.symbols.setdefault(
+                        target.id, f"{info.name}.{target.id}"
+                    )
+                    if value is not None and _is_mutable_literal(
+                        value, info.imports
+                    ):
+                        info.mutable_globals[target.id] = node
+
+    def _index_functions(self, info: ModuleInfo) -> None:
+        def visit(body: Iterable[ast.stmt], cls: Optional[str]) -> None:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = (
+                        f"{info.name}.{cls}.{node.name}"
+                        if cls
+                        else f"{info.name}.{node.name}"
+                    )
+                    fn = FunctionInfo(
+                        qualname=qual,
+                        module=info.name,
+                        name=node.name,
+                        node=node,
+                        cls=cls,
+                    )
+                    info.functions.append(fn)
+                    self.functions[qual] = fn
+                    self.methods_by_name.setdefault(node.name, []).append(fn)
+                elif isinstance(node, ast.ClassDef):
+                    visit(node.body, node.name)
+
+        visit(info.tree.body, None)
+
+    def finalize(self) -> None:
+        """Hook for post-load passes (kept for symmetry; currently a no-op —
+        symbol and function indexes are maintained incrementally)."""
+
+    # -- module graph ----------------------------------------------------
+    def module_graph(self) -> Dict[str, Set[str]]:
+        """module name -> set of *project* modules it imports."""
+        graph: Dict[str, Set[str]] = {}
+        names = set(self.modules)
+        for name, info in self.modules.items():
+            edges: Set[str] = set()
+            for origin in info.imports.imported_modules():
+                target = self._owning_module(origin, names)
+                if target is not None and target != name:
+                    edges.add(target)
+            graph[name] = edges
+        return graph
+
+    @staticmethod
+    def _owning_module(dotted: str, names: Set[str]) -> Optional[str]:
+        """Longest project module that is a prefix of *dotted*."""
+        parts = dotted.split(".")
+        for length in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:length])
+            if candidate in names:
+                return candidate
+        return None
+
+    def reachable_modules(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive import closure of *roots* over the module graph."""
+        graph = self.module_graph()
+        seen: Set[str] = set()
+        stack = [root for root in roots if root in graph]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(graph.get(current, ()) - seen)
+        return seen
+
+    def import_cycles(self) -> List[List[str]]:
+        """Elementary import cycles (each reported once, rotation-normalized).
+
+        Cycles are *tolerated* — lazy imports inside functions break them at
+        runtime — but the analyzers need to know about them so reachability
+        and summary fixpoints terminate; tests assert they are detected.
+        """
+        graph = self.module_graph()
+        cycles: List[List[str]] = []
+        seen_keys: Set[Tuple[str, ...]] = set()
+        path: List[str] = []
+        on_path: Set[str] = set()
+        visited: Set[str] = set()
+
+        def dfs(node: str) -> None:
+            path.append(node)
+            on_path.add(node)
+            for succ in sorted(graph.get(node, ())):
+                if succ in on_path:
+                    cycle = path[path.index(succ):]
+                    pivot = cycle.index(min(cycle))
+                    key = tuple(cycle[pivot:] + cycle[:pivot])
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        cycles.append(list(key))
+                elif succ not in visited:
+                    dfs(succ)
+            on_path.discard(node)
+            path.pop()
+            visited.add(node)
+
+        for node in sorted(graph):
+            if node not in visited:
+                dfs(node)
+        return cycles
+
+    # -- symbol / call resolution ----------------------------------------
+    def resolve_symbol(self, dotted: str, _depth: int = 0) -> str:
+        """Follow re-export chains (``repro.obs.store.canonical_json``
+        imported through ``repro.obs.__init__``) to the defining module."""
+        if _depth > 8:
+            return dotted
+        names = set(self.modules)
+        owner = self._owning_module(dotted, names)
+        if owner is None:
+            return dotted
+        remainder = dotted[len(owner) + 1:] if len(dotted) > len(owner) else ""
+        if not remainder:
+            return dotted
+        head, _, rest = remainder.partition(".")
+        target = self.modules[owner].symbols.get(head)
+        if target is None:
+            return dotted
+        resolved = f"{target}.{rest}" if rest else target
+        if resolved == dotted:
+            return dotted
+        return self.resolve_symbol(resolved, _depth + 1)
+
+    def function_for_call(
+        self, call: ast.Call, module: ModuleInfo
+    ) -> Optional[FunctionInfo]:
+        """Best-effort resolution of a call expression to a project function.
+
+        Handles plain calls to module-level functions (through import
+        aliases and ``__init__`` re-exports) and method calls resolved by
+        *unique* method name — ambiguity returns ``None`` rather than
+        guessing, so taint propagation errs toward silence, not noise.
+        """
+        dotted = dotted_name(call.func)
+        if dotted is not None:
+            resolved = self.resolve_symbol(module.imports.resolve(dotted))
+            if resolved in self.functions:
+                return self.functions[resolved]
+            # ``module.Class.method`` spelled through an instance is not
+            # resolvable by name; fall through to the method-name index.
+        if isinstance(call.func, ast.Attribute):
+            if call.func.attr in COMMON_METHOD_NAMES:
+                return None
+            candidates = self.methods_by_name.get(call.func.attr, [])
+            if len(candidates) == 1:
+                return candidates[0]
+        elif isinstance(call.func, ast.Name):
+            # A bare name defined in this module.
+            local = module.symbols.get(call.func.id)
+            if local is not None:
+                resolved = self.resolve_symbol(local)
+                if resolved in self.functions:
+                    return self.functions[resolved]
+        return None

@@ -1,0 +1,226 @@
+"""SARIF 2.1.0 output for the analysis passes.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is the
+interchange format CI systems ingest for code-scanning annotations.  This
+emitter produces one ``run`` with the full rule registry as
+``tool.driver.rules`` and one ``result`` per diagnostic, carrying the
+rule index, level, message (with the repository's hint appended), and a
+``physicalLocation`` with 1-based line/column.
+
+The module also ships :func:`validate_sarif` — a structural validator for
+the subset of the 2.1.0 schema we emit.  The container deliberately has
+no third-party ``jsonschema``, so the validator is hand-rolled; it exists
+so a regression in the emitter fails a unit test rather than a CI upload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.rules import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-analysis"
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_index() -> Dict[str, int]:
+    return {rule.code: index for index, rule in enumerate(all_rules())}
+
+
+def sarif_document(diagnostics: Iterable[Diagnostic]) -> Dict[str, Any]:
+    """Build the SARIF run as a plain dict (stable key order)."""
+    index = _rule_index()
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(rule.severity, "warning")
+            },
+        }
+        for rule in all_rules()
+    ]
+    results: List[Dict[str, Any]] = []
+    for diagnostic in diagnostics:
+        message = diagnostic.message
+        if diagnostic.hint:
+            message = f"{message} ({diagnostic.hint})"
+        result: Dict[str, Any] = {
+            "ruleId": diagnostic.code,
+            "level": _LEVELS.get(diagnostic.severity, "warning"),
+            "message": {"text": message},
+        }
+        if diagnostic.code in index:
+            result["ruleIndex"] = index[diagnostic.code]
+        if diagnostic.path is not None:
+            location: Dict[str, Any] = {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": diagnostic.path.replace("\\", "/"),
+                    }
+                }
+            }
+            region: Dict[str, Any] = {}
+            if diagnostic.line is not None:
+                region["startLine"] = max(1, diagnostic.line)
+            if diagnostic.col is not None:
+                region["startColumn"] = diagnostic.col + 1
+            if region:
+                location["physicalLocation"]["region"] = region
+            result["locations"] = [location]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": (
+                            "https://github.com/repro/repro#static-analysis"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(diagnostics: Iterable[Diagnostic]) -> str:
+    """The SARIF document as a JSON string."""
+    return json.dumps(sarif_document(diagnostics), indent=2, sort_keys=False)
+
+
+# ---------------------------------------------------------------------------
+# Structural validation (the subset of the 2.1.0 schema we emit).
+# ---------------------------------------------------------------------------
+def validate_sarif(document: Any) -> List[str]:
+    """Structural errors in *document*; empty list means valid."""
+    errors: List[str] = []
+
+    def expect(cond: bool, message: str) -> bool:
+        if not cond:
+            errors.append(message)
+        return cond
+
+    if not expect(isinstance(document, dict), "document must be an object"):
+        return errors
+    expect(
+        document.get("version") == SARIF_VERSION,
+        f"version must be {SARIF_VERSION!r}",
+    )
+    runs = document.get("runs")
+    if not expect(
+        isinstance(runs, list) and runs, "runs must be a non-empty array"
+    ):
+        return errors
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not expect(isinstance(run, dict), f"{where} must be an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        if expect(
+            isinstance(driver, dict), f"{where}.tool.driver must be an object"
+        ):
+            expect(
+                isinstance(driver.get("name"), str) and driver["name"],
+                f"{where}.tool.driver.name must be a non-empty string",
+            )
+            rules = driver.get("rules", [])
+            expect(
+                isinstance(rules, list),
+                f"{where}.tool.driver.rules must be an array",
+            )
+            rule_count = len(rules) if isinstance(rules, list) else 0
+            for rule_i, rule in enumerate(
+                rules if isinstance(rules, list) else []
+            ):
+                expect(
+                    isinstance(rule, dict) and isinstance(rule.get("id"), str),
+                    f"{where}.tool.driver.rules[{rule_i}].id must be a string",
+                )
+        else:
+            rule_count = 0
+        results = run.get("results")
+        if not expect(
+            isinstance(results, list), f"{where}.results must be an array"
+        ):
+            continue
+        for result_index, result in enumerate(results):
+            rwhere = f"{where}.results[{result_index}]"
+            if not expect(
+                isinstance(result, dict), f"{rwhere} must be an object"
+            ):
+                continue
+            expect(
+                isinstance(result.get("ruleId"), str),
+                f"{rwhere}.ruleId must be a string",
+            )
+            message = result.get("message")
+            expect(
+                isinstance(message, dict)
+                and isinstance(message.get("text"), str),
+                f"{rwhere}.message.text must be a string",
+            )
+            level = result.get("level")
+            if level is not None:
+                expect(
+                    level in ("none", "note", "warning", "error"),
+                    f"{rwhere}.level must be a SARIF level",
+                )
+            rule_index = result.get("ruleIndex")
+            if rule_index is not None:
+                expect(
+                    isinstance(rule_index, int)
+                    and 0 <= rule_index < rule_count,
+                    f"{rwhere}.ruleIndex out of range",
+                )
+            for loc_index, location in enumerate(
+                result.get("locations", []) or []
+            ):
+                lwhere = f"{rwhere}.locations[{loc_index}]"
+                physical = (
+                    location.get("physicalLocation")
+                    if isinstance(location, dict)
+                    else None
+                )
+                if not expect(
+                    isinstance(physical, dict),
+                    f"{lwhere}.physicalLocation must be an object",
+                ):
+                    continue
+                artifact = physical.get("artifactLocation")
+                expect(
+                    isinstance(artifact, dict)
+                    and isinstance(artifact.get("uri"), str),
+                    f"{lwhere}.physicalLocation.artifactLocation.uri "
+                    "must be a string",
+                )
+                region = physical.get("region")
+                if region is not None and expect(
+                    isinstance(region, dict),
+                    f"{lwhere}.physicalLocation.region must be an object",
+                ):
+                    for field in ("startLine", "startColumn"):
+                        value = region.get(field)
+                        if value is not None:
+                            expect(
+                                isinstance(value, int) and value >= 1,
+                                f"{lwhere}.physicalLocation.region."
+                                f"{field} must be a positive integer",
+                            )
+    return errors

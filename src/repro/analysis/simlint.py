@@ -72,6 +72,7 @@ import os
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.analysis.diagnostics import Diagnostic, DiagnosticSink, sort_diagnostics
+from repro.analysis.noqa import filter_noqa
 from repro.analysis.rules import get_rule
 from repro.units import KB, KiB
 
@@ -594,19 +595,6 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _noqa_lines(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> suppressed codes ({'*'} for a bare ``# noqa``)."""
-    suppressed: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        _, _, comment = line.partition("#")
-        if "noqa" not in comment:
-            continue
-        _, _, codes = comment.partition(":")
-        names = {c.strip().upper() for c in codes.replace(",", " ").split()} - {""}
-        suppressed[lineno] = names or {"*"}
-    return suppressed
-
-
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -637,15 +625,7 @@ def lint_source(
         if HOTPATH_MARKER in line.partition("#")[2]
     }
     _Linter(path, module, sink, hotpath_lines=hotpath_lines).visit(tree)
-    suppressed = _noqa_lines(source)
-    kept = [
-        d
-        for d in sink.diagnostics[before:]
-        if not (
-            d.line in suppressed
-            and ("*" in suppressed[d.line] or d.code in suppressed[d.line])
-        )
-    ]
+    kept = filter_noqa(sink.diagnostics[before:], source)
     del sink.diagnostics[before:]
     sink.diagnostics.extend(sort_diagnostics(kept))
     return sink.diagnostics[before:]

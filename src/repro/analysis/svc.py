@@ -1,0 +1,427 @@
+"""SVC4xx — service-atomicity analysis for the scheduling service.
+
+:mod:`repro.service` promises byte-identical campaign stores *regardless
+of worker order* (PR 4's shuffled-completion-order regression test).  The
+three rules here make the invariants behind that promise statically
+checkable instead of only empirically observed:
+
+``SVC401`` shared mutable module-level state
+    A module-level ``list``/``dict``/``set`` that some function *mutates*,
+    in a module transitively imported by the worker entrypoints
+    (:mod:`repro.service.tasks`, :mod:`repro.service.pool`).  Under
+    ``multiprocessing`` each worker gets its own copy-on-write instance,
+    so such state silently diverges between parent and workers — reads
+    look fine, aggregates are wrong.
+``SVC402`` unsanctioned writes into service/campaign storage
+    ``open(..., "w"/"a"/"x")`` on paths inside ``service/`` or
+    ``campaigns/`` anywhere outside the sanctioned append helpers
+    (:mod:`repro.obs.store`, :mod:`repro.service.queue`,
+    :mod:`repro.service.cache`).  Those helpers are the atomicity boundary
+    — they validate, serialize canonically, and append whole lines; a raw
+    ``open`` bypasses all three.
+``SVC403`` order-sensitive consumption of parallel results
+    Results consumed *in completion order* (``imap_unordered``,
+    ``concurrent.futures.as_completed``) accumulated into an
+    order-preserving container that reaches a deterministic store sink
+    without an intervening ``sorted(...)`` — the exact bug class the
+    scheduler's sort-by-cell-id persistence exists to prevent.  This
+    reuses the SIM2xx taint engine with a ``completion-order`` label and
+    the same sinks/sanitizers.  ``WorkerPool.run`` is *not* a source: it
+    returns outcomes in submission order by contract (only its
+    ``on_outcome`` callback fires in completion order).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.dataflow import TaintPolicy, TaintWalker, run_taint_analysis
+from repro.analysis.diagnostics import Diagnostic, DiagnosticSink, sort_diagnostics
+from repro.analysis.noqa import filter_noqa
+from repro.analysis.project import (
+    ModuleInfo,
+    Project,
+    dotted_name,
+)
+from repro.analysis.rules import get_rule
+from repro.analysis.taint import DeterminismTaintPolicy
+
+#: Modules whose functions run inside worker processes (pool entrypoints).
+WORKER_ENTRY_MODULES: Tuple[str, ...] = (
+    "repro.service.tasks",
+    "repro.service.pool",
+)
+
+#: The sanctioned atomic-append helpers for service/campaign storage.
+SANCTIONED_WRITER_MODULES: FrozenSet[str] = frozenset(
+    {"repro.obs.store", "repro.service.queue", "repro.service.cache"}
+)
+
+#: Mutating container methods (SVC401).
+_MUTATOR_METHODS: FrozenSet[str] = frozenset(
+    {
+        "append",
+        "add",
+        "extend",
+        "insert",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "clear",
+        "remove",
+        "discard",
+        "appendleft",
+        "popleft",
+    }
+)
+
+#: Write modes for open() (SVC402).
+_WRITE_MODES = ("w", "a", "x", "r+", "w+", "a+")
+
+#: Path fragments that mean "inside the persistent stores".
+_STORE_PATH_MARKERS = ("campaign", "service", "queue.jsonl", "cache")
+
+#: Names that, appearing in a path expression, tie it to the stores.
+_STORE_PATH_NAMES: FrozenSet[str] = frozenset(
+    {"DEFAULT_CAMPAIGN_DIR", "DEFAULT_SERVICE_DIR", "QUEUE_FILENAME"}
+)
+
+#: Completion-order label for SVC403.
+COMPLETION_ORDER = "completion-order"
+
+
+def _module_tail_in(name: str, allowed: FrozenSet[str]) -> bool:
+    return name in allowed or any(
+        name.endswith("." + entry) for entry in allowed
+    )
+
+
+# ---------------------------------------------------------------------------
+# SVC401 — shared mutable module-level state.
+# ---------------------------------------------------------------------------
+def _local_names(fn_node: ast.AST) -> Set[str]:
+    """Parameter and locally-assigned names of a function (shadow check)."""
+    names: Set[str] = set()
+    args = fn_node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        names.add(arg.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for sub in ast.walk(node.target):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+    # ``global X`` un-shadows X on purpose.
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Global):
+            names -= set(node.names)
+    return names
+
+
+def _mutations_of_global(
+    module: ModuleInfo, name: str, project: Project
+) -> List[Tuple[ModuleInfo, ast.AST, str]]:
+    """(module, node, how) sites that mutate module-level *name*."""
+    sites: List[Tuple[ModuleInfo, ast.AST, str]] = []
+    qualified = f"{module.name}.{name}"
+
+    def scan(info: ModuleInfo, fn_node: ast.AST, shadowed: Set[str]) -> None:
+        for node in ast.walk(fn_node):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr not in _MUTATOR_METHODS:
+                    continue
+                receiver = dotted_name(node.func.value)
+                if receiver is None:
+                    continue
+                resolved = info.imports.resolve(receiver)
+                if (info is module and receiver == name and name not in shadowed) or (
+                    resolved == qualified
+                    or project.resolve_symbol(resolved) == qualified
+                ):
+                    sites.append((info, node, f".{node.func.attr}()"))
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if not isinstance(target, ast.Subscript):
+                        continue
+                    receiver = dotted_name(target.value)
+                    if receiver is None:
+                        continue
+                    resolved = info.imports.resolve(receiver)
+                    if (
+                        info is module
+                        and receiver == name
+                        and name not in shadowed
+                    ) or resolved == qualified:
+                        sites.append((info, node, "[...] assignment"))
+
+    for info in project.modules.values():
+        for function in info.functions:
+            scan(info, function.node, _local_names(function.node))
+    return sites
+
+
+def check_shared_state(
+    project: Project, sink: DiagnosticSink
+) -> List[Diagnostic]:
+    """SVC401 over modules reachable from the worker entrypoints."""
+    roots = [m for m in WORKER_ENTRY_MODULES if m in project.modules]
+    # Fall back to suffix matching for path-derived module names.
+    if not roots:
+        roots = [
+            name
+            for name in project.modules
+            if any(name.endswith("." + r) or name == r for r in WORKER_ENTRY_MODULES)
+        ]
+    reachable = project.reachable_modules(roots)
+    diagnostics: List[Diagnostic] = []
+    for name in sorted(reachable):
+        module = project.modules[name]
+        for global_name in sorted(module.mutable_globals):
+            if global_name == "__all__":
+                continue
+            sites = _mutations_of_global(module, global_name, project)
+            if not sites:
+                continue
+            node = module.mutable_globals[global_name]
+            where = ", ".join(
+                sorted(
+                    {
+                        f"{info.name}:{getattr(site, 'lineno', '?')}"
+                        for info, site, _ in sites
+                    }
+                )[:3]
+            )
+            rule = get_rule("SVC401")
+            diagnostics.append(
+                Diagnostic(
+                    code="SVC401",
+                    message=(
+                        f"module-level mutable {global_name!r} is mutated "
+                        f"({where}) and reachable from service workers; "
+                        "each worker process sees its own diverging copy"
+                    ),
+                    severity=rule.severity,
+                    path=module.path,
+                    line=getattr(node, "lineno", None),
+                    col=getattr(node, "col_offset", None),
+                    hint=(
+                        "pass the state explicitly through job payloads / "
+                        "results, or make the module-level value immutable"
+                    ),
+                )
+            )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# SVC402 — unsanctioned writes into service/campaign storage.
+# ---------------------------------------------------------------------------
+def _mentions_store_path(
+    node: ast.AST, assignments: Dict[str, ast.AST], depth: int = 0
+) -> bool:
+    if depth > 4 or node is None:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            lowered = sub.value.lower()
+            if any(marker in lowered for marker in _STORE_PATH_MARKERS):
+                return True
+        elif isinstance(sub, ast.Name):
+            if sub.id in _STORE_PATH_NAMES:
+                return True
+            target = assignments.get(sub.id)
+            if target is not None and _mentions_store_path(
+                target, {}, depth + 1
+            ):
+                return True
+        elif isinstance(sub, ast.Attribute):
+            if sub.attr in _STORE_PATH_NAMES:
+                return True
+    return False
+
+
+def _open_mode(call: ast.Call) -> Optional[str]:
+    mode: Optional[ast.AST] = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode = kw.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def check_store_writes(
+    project: Project, sink: DiagnosticSink
+) -> List[Diagnostic]:
+    """SVC402 over every module of the project."""
+    diagnostics: List[Diagnostic] = []
+    for name in sorted(project.modules):
+        module = project.modules[name]
+        if _module_tail_in(module.name, SANCTIONED_WRITER_MODULES):
+            continue
+        assignments: Dict[str, ast.AST] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and node.value is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assignments[target.id] = node.value
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            resolved = module.imports.resolve(dotted) if dotted else None
+            if resolved not in ("open", "io.open", "os.open"):
+                continue
+            mode = _open_mode(node)
+            if mode is None or not mode.startswith(_WRITE_MODES):
+                continue
+            path_arg = node.args[0] if node.args else None
+            if path_arg is None or not _mentions_store_path(
+                path_arg, assignments
+            ):
+                continue
+            rule = get_rule("SVC402")
+            diagnostics.append(
+                Diagnostic(
+                    code="SVC402",
+                    message=(
+                        f"raw open(..., {mode!r}) into service/campaign "
+                        f"storage in {module.name}; the append-only stores "
+                        "must go through their atomic helpers"
+                    ),
+                    severity=rule.severity,
+                    path=module.path,
+                    line=getattr(node, "lineno", None),
+                    col=getattr(node, "col_offset", None),
+                    hint=(
+                        "use CampaignStore.create/append_cell, "
+                        "JobQueue.submit/_transition, or ResultCache.put"
+                    ),
+                )
+            )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# SVC403 — order-sensitive consumption of parallel results.
+# ---------------------------------------------------------------------------
+class CompletionOrderPolicy(TaintPolicy):
+    """Taint policy: pool results carry completion-order until sorted."""
+
+    order_labels = frozenset({COMPLETION_ORDER})
+
+    def __init__(self) -> None:
+        self._sinks = DeterminismTaintPolicy()
+
+    def source_taints(
+        self, resolved: Optional[str], call: ast.Call, walker: TaintWalker
+    ) -> Set[str]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            # WorkerPool.run is deliberately NOT here: it returns
+            # outcomes in submission order (repro.service.pool contract).
+            if func.attr in ("imap_unordered", "as_completed"):
+                return {COMPLETION_ORDER}
+        if resolved == "concurrent.futures.as_completed":
+            return {COMPLETION_ORDER}
+        return set()
+
+    def sanitized_labels(
+        self, resolved: Optional[str], call: ast.Call
+    ) -> Set[str]:
+        if resolved in ("sorted", "sum", "min", "max", "len", "any", "all"):
+            return {COMPLETION_ORDER}
+        return set()
+
+    def sink_args(self, resolved, call, walker):
+        triples = self._sinks.sink_args(resolved, call, walker)
+        trigger = frozenset({COMPLETION_ORDER})
+        return [(node, label, trigger) for node, label, _ in triples]
+
+
+def check_completion_order(
+    project: Project, sink: DiagnosticSink
+) -> List[Diagnostic]:
+    """SVC403: completion-order taint reaching store sinks."""
+    hits = run_taint_analysis(project, CompletionOrderPolicy())
+    diagnostics: List[Diagnostic] = []
+    seen: Set[Tuple[str, Optional[int], Optional[int]]] = set()
+    rule = get_rule("SVC403")
+    for hit in hits:
+        if COMPLETION_ORDER not in hit.labels:
+            continue
+        line = getattr(hit.node, "lineno", None)
+        col = getattr(hit.node, "col_offset", None)
+        key = (hit.module.path, line, col)
+        if key in seen:
+            continue
+        seen.add(key)
+        chain = f" {hit.via}" if hit.via else ""
+        diagnostics.append(
+            Diagnostic(
+                code="SVC403",
+                message=(
+                    f"worker-pool results reach {hit.sink}{chain} in "
+                    f"{hit.function}() without a deterministic sort"
+                ),
+                severity=rule.severity,
+                path=hit.module.path,
+                line=line,
+                col=col,
+                hint=(
+                    "sort completed results by cell id before persisting "
+                    "(sorted(cells, key=lambda c: c.cell_id))"
+                ),
+            )
+        )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Entry point.
+# ---------------------------------------------------------------------------
+def check_service_atomicity(
+    project: Project, sink: Optional[DiagnosticSink] = None
+) -> List[Diagnostic]:
+    """Run all SVC4xx analyses over *project*; emits into *sink*."""
+    sink = sink if sink is not None else DiagnosticSink()
+    diagnostics: List[Diagnostic] = []
+    diagnostics.extend(check_shared_state(project, sink))
+    diagnostics.extend(check_store_writes(project, sink))
+    diagnostics.extend(check_completion_order(project, sink))
+    by_path: Dict[str, List[Diagnostic]] = {}
+    for diagnostic in diagnostics:
+        by_path.setdefault(diagnostic.path or "", []).append(diagnostic)
+    kept: List[Diagnostic] = []
+    sources = {info.path: info.source for info in project.modules.values()}
+    for path, entries in by_path.items():
+        source = sources.get(path)
+        kept.extend(
+            filter_noqa(entries, source) if source is not None else entries
+        )
+    for diagnostic in sort_diagnostics(kept):
+        sink.emit(diagnostic)
+    return sink.diagnostics

@@ -1,0 +1,453 @@
+"""UNIT6xx — lightweight unit/dimension inference for the model math.
+
+The whole library runs on three physical dimensions (bytes, seconds,
+bytes/second — see :mod:`repro.units`), carried by plain ``float``\\ s.  A
+bytes-vs-seconds mixup in :mod:`repro.sim.flow` does not crash — it
+produces a plausible-looking wrong makespan that only a campaign diff
+catches a pipeline later.  This checker infers dimensions *statically*
+from three cues and flags inconsistent arithmetic at the expression that
+commits the mixup:
+
+* **suffix conventions** — ``*_bytes`` / ``*_seconds`` / ``*_bps`` names
+  (and a table of conventional bare names: ``latency``, ``makespan``,
+  ``bandwidth``, ``dt``, ``rate`` ...);
+* **the unit constants** — ``KiB``/``MiB``/``GB``... are bytes,
+  ``MILLISECOND``/``SECOND``... are seconds, ``MEGA``/``GIGA`` are
+  dimensionless scale factors;
+* **propagation** — ``bytes / seconds`` is a rate, ``rate * seconds`` is
+  bytes, ``bytes / rate`` is seconds; assignments carry dimensions into
+  locals.
+
+Rules:
+
+``UNIT601``
+    ``+`` / ``-`` between two different concrete dimensions
+    (``op_bytes + latency_seconds``).
+``UNIT602``
+    Ordering/equality comparison between two different concrete
+    dimensions (``chunk_bytes < duty_seconds``).
+``UNIT603``
+    A dimension-declaring name (suffix or convention) bound to a value of
+    a *different* concrete dimension — assignments, keyword arguments,
+    and returns from ``*_bytes``/``*_seconds``-named functions.
+
+Scope is the numeric model code — :mod:`repro.sim.flow`,
+:mod:`repro.pmem`, :mod:`repro.platform` — where dimensional bugs change
+published numbers.  Dimensionless literals combine freely with every
+dimension, so ``op_bytes / 2`` and ``0.5 * bandwidth`` never warn.
+
+One documented idiom is exempt from ``UNIT603``: the calibration tables
+write *rates* with byte-magnitude constants — ``upi_bandwidth = 30.0 *
+GB`` means "30 GB **per second**" throughout the repo — so a
+``bytes``-dimensioned value binding a ``bytes/second``-declaring name is
+accepted (the reverse, and any seconds mixup, still fires).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticSink, sort_diagnostics
+from repro.analysis.noqa import filter_noqa
+from repro.analysis.project import ModuleInfo, Project, dotted_name
+from repro.analysis.rules import get_rule
+
+#: The dimension lattice: concrete dims + DIMLESS (combines with all) +
+#: UNKNOWN (no information).
+BYTES = "bytes"
+SECONDS = "seconds"
+BPS = "bytes/second"
+DIMLESS = "dimensionless"
+UNKNOWN = "unknown"
+
+CONCRETE = (BYTES, SECONDS, BPS)
+
+#: Modules the checker runs on (the numeric model).
+def in_scope(module: ModuleInfo) -> bool:
+    if module.package in ("pmem", "platform"):
+        return module.name.split(".")[-1] != "__init__"
+    return ".sim.flow" in module.name or module.name == "repro.sim.flow"
+
+
+#: units.py constants by dimension.
+_BYTE_CONSTANTS = {"KiB", "MiB", "GiB", "TiB", "KB", "MB", "GB", "TB"}
+_SECOND_CONSTANTS = {"NANOSECOND", "MICROSECOND", "MILLISECOND", "SECOND"}
+_DIMLESS_CONSTANTS = {"MEGA", "GIGA"}
+
+#: Suffix conventions, checked on the terminal identifier.
+_SUFFIX_DIMS: Tuple[Tuple[str, str], ...] = (
+    ("_bytes", BYTES),
+    ("_bps", BPS),
+    ("_seconds", SECONDS),
+    ("_latency", SECONDS),
+    ("_bandwidth", BPS),
+)
+
+#: Conventional bare names.
+_NAME_DIMS: Dict[str, str] = {
+    "nbytes": BYTES,
+    "latency": SECONDS,
+    "makespan": SECONDS,
+    "deadline": SECONDS,
+    "duration": SECONDS,
+    "elapsed": SECONDS,
+    "timeout": SECONDS,
+    "dt": SECONDS,
+    "now": SECONDS,
+    "bandwidth": BPS,
+    "bw": BPS,
+    "rate": BPS,
+    "bytes_per_second": BPS,
+}
+
+
+def declared_dim(identifier: Optional[str]) -> Optional[str]:
+    """Dimension an identifier *declares* by its name, if any."""
+    if identifier is None:
+        return None
+    for suffix, dim in _SUFFIX_DIMS:
+        if identifier.endswith(suffix) and identifier != suffix.lstrip("_"):
+            return dim
+    return _NAME_DIMS.get(identifier)
+
+
+def _terminal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _combine_add(left: str, right: str) -> Tuple[str, bool]:
+    """Result dim of ``left + right`` and whether it is an error."""
+    if left == right:
+        return left, False
+    if left == DIMLESS:
+        return right, False
+    if right == DIMLESS:
+        return left, False
+    if UNKNOWN in (left, right):
+        return UNKNOWN, False
+    return UNKNOWN, True
+
+
+def _combine_mult(left: str, right: str) -> str:
+    if DIMLESS in (left, right):
+        return right if left == DIMLESS else left
+    if {left, right} == {BPS, SECONDS}:
+        return BYTES
+    if UNKNOWN in (left, right):
+        # Suffix-convention inference: an unadorned scalar is a count,
+        # so ``n * SECOND`` carries seconds even when ``n`` is untyped.
+        other = right if left == UNKNOWN else left
+        if other in CONCRETE:
+            return other
+    return UNKNOWN
+
+
+def _binding_ok(declared: str, actual: str) -> bool:
+    """Whether *actual* may bind a name declaring *declared*.
+
+    ``BYTES -> BPS`` is the sanctioned rate-magnitude idiom
+    (``bandwidth = 30.0 * GB`` meaning GB/s).
+    """
+    if actual not in CONCRETE or actual == declared:
+        return True
+    return declared == BPS and actual == BYTES
+
+
+def _combine_div(left: str, right: str) -> str:
+    if right == DIMLESS:
+        return left
+    if left == right and left in CONCRETE:
+        return DIMLESS
+    if left == BYTES and right == SECONDS:
+        return BPS
+    if left == BYTES and right == BPS:
+        return SECONDS
+    return UNKNOWN
+
+
+class _UnitChecker(ast.NodeVisitor):
+    """Per-function (and module-top-level) dimension inference walk."""
+
+    def __init__(self, module: ModuleInfo, diagnostics: List[Diagnostic]) -> None:
+        self.module = module
+        self.diagnostics = diagnostics
+        self.env: Dict[str, str] = {}
+        self.current_function: Optional[str] = None
+
+    # -- inference ---------------------------------------------------------
+    def dim_of(self, node: Optional[ast.AST]) -> str:
+        if node is None:
+            return UNKNOWN
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)
+            ):
+                return UNKNOWN
+            return DIMLESS
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            identifier = _terminal(node)
+            if identifier is None:
+                return UNKNOWN
+            resolved = (
+                self.module.imports.resolve(identifier)
+                if isinstance(node, ast.Name)
+                else identifier
+            )
+            tail = resolved.split(".")[-1]
+            if tail in _BYTE_CONSTANTS:
+                return BYTES
+            if tail in _SECOND_CONSTANTS:
+                return SECONDS
+            if tail in _DIMLESS_CONSTANTS:
+                return DIMLESS
+            if isinstance(node, ast.Name) and node.id in self.env:
+                return self.env[node.id]
+            declared = declared_dim(identifier)
+            return declared if declared is not None else UNKNOWN
+        if isinstance(node, ast.BinOp):
+            return self._dim_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.dim_of(node.operand)
+        if isinstance(node, ast.IfExp):
+            body, orelse = self.dim_of(node.body), self.dim_of(node.orelse)
+            return body if body == orelse else UNKNOWN
+        if isinstance(node, ast.Call):
+            return self._dim_call(node)
+        if isinstance(node, ast.Compare):
+            self._check_compare(node)
+            return DIMLESS
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.dim_of(value)
+            return UNKNOWN
+        return UNKNOWN
+
+    def _dim_binop(self, node: ast.BinOp) -> str:
+        left = self.dim_of(node.left)
+        right = self.dim_of(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            result, bad = _combine_add(left, right)
+            if bad:
+                self._emit(
+                    "UNIT601",
+                    node,
+                    f"{left} {'+' if isinstance(node.op, ast.Add) else '-'} "
+                    f"{right} mixes dimensions",
+                    "convert one operand explicitly (repro.units) so both "
+                    "sides share a dimension",
+                )
+            return result
+        if isinstance(node.op, ast.Mult):
+            return _combine_mult(left, right)
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            return _combine_div(left, right)
+        if isinstance(node.op, ast.Mod):
+            return left
+        if isinstance(node.op, ast.Pow):
+            return DIMLESS if left == DIMLESS else UNKNOWN
+        return UNKNOWN
+
+    def _dim_call(self, node: ast.Call) -> str:
+        for arg in node.args:
+            self.dim_of(arg)
+        for kw in node.keywords:
+            self._check_kwarg(kw)
+        dotted = dotted_name(node.func)
+        resolved = self.module.imports.resolve(dotted) if dotted else None
+        if resolved in ("abs", "float", "int", "round"):
+            return self.dim_of(node.args[0]) if node.args else UNKNOWN
+        if resolved in ("min", "max", "sum"):
+            dims = {
+                self.dim_of(arg)
+                for arg in node.args
+                if not isinstance(arg, ast.Starred)
+            }
+            dims.discard(UNKNOWN)
+            if len(dims) == 1:
+                return next(iter(dims))
+            return UNKNOWN
+        if resolved == "len":
+            return DIMLESS
+        declared = declared_dim(_terminal(node.func))
+        return declared if declared is not None else UNKNOWN
+
+    # -- checks ------------------------------------------------------------
+    def _emit(self, code: str, node: ast.AST, message: str, hint: str) -> None:
+        rule = get_rule(code)
+        where = (
+            f" in {self.current_function}()" if self.current_function else ""
+        )
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                message=message + where,
+                severity=rule.severity,
+                path=self.module.path,
+                line=getattr(node, "lineno", None),
+                col=getattr(node, "col_offset", None),
+                hint=hint,
+            )
+        )
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        dims = [self.dim_of(operand) for operand in operands]
+        for index, op in enumerate(node.ops):
+            left, right = dims[index], dims[index + 1]
+            if (
+                left in CONCRETE
+                and right in CONCRETE
+                and left != right
+            ):
+                self._emit(
+                    "UNIT602",
+                    node,
+                    f"comparison between {left} and {right}",
+                    "compare like with like; convert via repro.units first",
+                )
+
+    def _check_kwarg(self, kw: ast.keyword) -> None:
+        declared = declared_dim(kw.arg)
+        if declared is None:
+            return
+        actual = self.dim_of(kw.value)
+        if not _binding_ok(declared, actual):
+            self._emit(
+                "UNIT603",
+                kw.value,
+                f"argument {kw.arg}= declares {declared} but receives "
+                f"{actual}",
+                "convert the value to the declared dimension",
+            )
+
+    def _check_bind(self, target: ast.AST, value_dim: str) -> None:
+        identifier = _terminal(target)
+        declared = declared_dim(identifier)
+        if declared is None:
+            if (
+                isinstance(target, ast.Name)
+                and value_dim in CONCRETE + (DIMLESS,)
+            ):
+                self.env[target.id] = value_dim
+            return
+        if not _binding_ok(declared, value_dim):
+            self._emit(
+                "UNIT603",
+                target,
+                f"{identifier!r} declares {declared} but is bound to "
+                f"{value_dim}",
+                "rename the variable or convert the value",
+            )
+        elif isinstance(target, ast.Name):
+            self.env[target.id] = declared
+
+    # -- statements --------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value_dim = self.dim_of(node.value)
+        for target in node.targets:
+            if isinstance(target, (ast.Name, ast.Attribute)):
+                self._check_bind(target, value_dim)
+        self.generic_visit_exclude_value(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_bind(node.target, self.dim_of(node.value))
+        self.generic_visit_exclude_value(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target_dim = self.dim_of(node.target)
+        value_dim = self.dim_of(node.value)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            _, bad = _combine_add(target_dim, value_dim)
+            if bad:
+                self._emit(
+                    "UNIT601",
+                    node,
+                    f"{target_dim} {'+=' if isinstance(node.op, ast.Add) else '-='} "
+                    f"{value_dim} mixes dimensions",
+                    "convert the right-hand side to the target's dimension",
+                )
+
+    def visit_Return(self, node: ast.Return) -> None:
+        declared = declared_dim(self.current_function)
+        if declared is not None and node.value is not None:
+            actual = self.dim_of(node.value)
+            if not _binding_ok(declared, actual):
+                self._emit(
+                    "UNIT603",
+                    node,
+                    f"function declares {declared} but returns {actual}",
+                    "convert the return value to the declared dimension",
+                )
+        elif node.value is not None:
+            self.dim_of(node.value)
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        self.dim_of(node.value)
+
+    def visit_If(self, node: ast.If) -> None:
+        self.dim_of(node.test)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def visit_While(self, node: ast.While) -> None:
+        self.dim_of(node.test)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def visit_For(self, node: ast.For) -> None:
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    def generic_visit_exclude_value(self, node: ast.AST) -> None:
+        """Nothing further to visit: expression checks happened in dim_of."""
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._walk_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._walk_function(node)
+
+    def _walk_function(self, node: ast.AST) -> None:
+        saved_env = self.env
+        saved_name = self.current_function
+        self.env = {}
+        self.current_function = node.name
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            declared = declared_dim(arg.arg)
+            if declared is not None:
+                self.env[arg.arg] = declared
+        for stmt in node.body:
+            self.visit(stmt)
+        self.env = saved_env
+        self.current_function = saved_name
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        for stmt in node.body:
+            self.visit(stmt)
+
+
+def check_units(
+    project: Project, sink: Optional[DiagnosticSink] = None
+) -> List[Diagnostic]:
+    """Run the UNIT6xx dimension checks over the in-scope modules."""
+    sink = sink if sink is not None else DiagnosticSink()
+    kept: List[Diagnostic] = []
+    for name in sorted(project.modules):
+        module = project.modules[name]
+        if not in_scope(module):
+            continue
+        diagnostics: List[Diagnostic] = []
+        checker = _UnitChecker(module, diagnostics)
+        for stmt in module.tree.body:
+            checker.visit(stmt)
+        kept.extend(filter_noqa(diagnostics, module.source))
+    for diagnostic in sort_diagnostics(kept):
+        sink.emit(diagnostic)
+    return sink.diagnostics

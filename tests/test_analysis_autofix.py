@@ -1,0 +1,112 @@
+"""SIM106 autofix tests: rewrites, imports, idempotency."""
+
+import textwrap
+
+from repro.analysis.autofix import fix_paths, fix_source
+from repro.analysis.simlint import lint_source
+
+
+def fix(source, module="repro.sim.fixture"):
+    return fix_source(textwrap.dedent(source), module)
+
+
+class TestRewrites:
+    def test_power_of_two_literal(self):
+        fixed, count = fix("CHUNK = 4096\n")
+        assert count == 1
+        assert "CHUNK = (4 * KiB)" in fixed
+
+    def test_exact_unit_constant(self):
+        fixed, count = fix("CHUNK = 1048576\n")
+        assert count == 1
+        assert "CHUNK = MiB" in fixed
+
+    def test_power_expression(self):
+        fixed, count = fix("CAP = 2**30\n")
+        assert count == 1
+        assert "CAP = GiB" in fixed
+
+    def test_kib_power_expression(self):
+        fixed, count = fix("CAP = 1024**2\n")
+        assert count == 1
+        assert "CAP = MiB" in fixed
+
+    def test_float_scale_factor(self):
+        fixed, count = fix("RATE = 1e9\n")
+        assert count == 1
+        assert "RATE = GIGA" in fixed
+
+    def test_integer_power_of_ten(self):
+        fixed, count = fix("SIZE = 10**9\n")
+        assert count == 1
+        assert "SIZE = GB" in fixed
+
+    def test_division_context_parenthesized(self):
+        fixed, count = fix("def f(x):\n    return x / 4096\n")
+        assert count == 1
+        assert "x / (4 * KiB)" in fixed
+
+    def test_import_added(self):
+        fixed, _ = fix("CHUNK = 2**30\n")
+        assert "from repro.units import GiB" in fixed
+
+    def test_existing_import_extended(self):
+        fixed, _ = fix("from repro.units import KiB\nCAP = 2**30\n")
+        assert "from repro.units import GiB, KiB" in fixed
+        assert fixed.count("from repro.units") == 1
+
+    def test_import_after_docstring_and_imports(self):
+        fixed, _ = fix('"""Doc."""\nimport os\n\nCAP = 2**30\n')
+        lines = fixed.splitlines()
+        assert lines[1] == "import os"
+        assert "from repro.units import GiB" in lines[2]
+
+
+class TestGuards:
+    def test_noqa_line_untouched(self):
+        source = "CHUNK = 4096  # noqa: SIM106 raw on purpose\n"
+        fixed, count = fix(source)
+        assert count == 0 and fixed == source
+
+    def test_units_module_exempt(self):
+        source = "KiB = 1024\n"
+        fixed, count = fix(source, module="repro.units")
+        assert count == 0 and fixed == source
+
+    def test_syntax_error_untouched(self):
+        source = "def broken(:\n"
+        fixed, count = fix(source)
+        assert count == 0 and fixed == source
+
+    def test_non_magic_literals_untouched(self):
+        source = "COUNT = 1000\nRATIO = 0.5\nSMALL = 512\n"
+        fixed, count = fix(source)
+        assert count == 0 and fixed == source
+
+
+class TestIdempotencyAndCleanliness:
+    def test_fixed_source_passes_lint(self):
+        fixed, _ = fix("import array\nCHUNK = 4096\nCAP = 2**30\n")
+        diagnostics = lint_source(
+            fixed,
+            path="src/repro/sim/fixture.py",
+            module="repro.sim.fixture",
+        )
+        assert [d.code for d in diagnostics] == []
+
+    def test_second_pass_is_identity(self):
+        once, count = fix("CHUNK = 4096\nCAP = 2**30\nRATE = 1e9\n")
+        assert count == 3
+        twice, second_count = fix_source(once, "repro.sim.fixture")
+        assert second_count == 0
+        assert twice == once
+
+    def test_fix_paths_roundtrip(self, tmp_path):
+        target = tmp_path / "repro" / "sim" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("CHUNK = 4096\n")
+        changed = fix_paths([str(tmp_path)])
+        assert changed == {str(target): 1}
+        assert "KiB" in target.read_text()
+        # Second run: nothing left to fix.
+        assert fix_paths([str(tmp_path)]) == {}

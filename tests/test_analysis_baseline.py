@@ -1,0 +1,74 @@
+"""Baseline-suppression tests: only new findings fail."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, finding_key
+from repro.analysis.diagnostics import Diagnostic
+
+
+def diag(code="SVC401", path="src/repro/obs/a.py", message="shared state", line=10):
+    return Diagnostic(code=code, message=message, path=path, line=line)
+
+
+class TestMatching:
+    def test_split_partitions_new_and_accepted(self):
+        accepted = diag()
+        fresh = diag(code="SIM201", message="clock taint")
+        baseline = Baseline.from_diagnostics([accepted])
+        new, old = baseline.split([accepted, fresh])
+        assert [d.code for d in new] == ["SIM201"]
+        assert [d.code for d in old] == ["SVC401"]
+
+    def test_matching_is_line_independent(self):
+        baseline = Baseline.from_diagnostics([diag(line=10)])
+        moved = diag(line=99)
+        assert moved in baseline
+
+    def test_path_separators_normalized(self):
+        baseline = Baseline.from_diagnostics(
+            [diag(path="src/repro/obs/a.py")]
+        )
+        windows = diag(path="src\\repro\\obs\\a.py")
+        assert windows in baseline
+
+    def test_different_message_is_new(self):
+        baseline = Baseline.from_diagnostics([diag(message="shared state")])
+        assert diag(message="other finding") not in baseline
+
+    def test_unused_entries_reported(self):
+        baseline = Baseline.from_diagnostics([diag(), diag(code="SIM203")])
+        assert baseline.unused([diag()]) == [finding_key(diag(code="SIM203"))]
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        original = Baseline.from_diagnostics([diag(), diag(code="SIM202")])
+        original.dump(path)
+        loaded = Baseline.load(path)
+        assert loaded.keys == original.keys
+
+    def test_file_is_sorted_and_versioned(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        Baseline.from_diagnostics(
+            [diag(code="UNIT601"), diag(code="SIM201")]
+        ).dump(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["version"] == 1
+        codes = [entry["code"] for entry in payload["findings"]]
+        assert codes == sorted(codes)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))
+
+    def test_non_baseline_file_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))

@@ -1,0 +1,259 @@
+"""Engine-level tests: label propagation, summaries, order-label death."""
+
+import textwrap
+
+from repro.analysis.dataflow import (
+    compute_summaries,
+    param_label,
+    run_taint_analysis,
+)
+from repro.analysis.project import Project
+from repro.analysis.taint import DeterminismTaintPolicy
+
+
+def project_for(source, path="src/repro/obs/fixture.py"):
+    return Project.from_sources({path: textwrap.dedent(source)})
+
+
+def hits_for(source, path="src/repro/obs/fixture.py"):
+    return run_taint_analysis(project_for(source, path), DeterminismTaintPolicy())
+
+
+class TestDirectFlow:
+    def test_source_to_sink(self):
+        hits = hits_for(
+            """
+            import time
+
+            def f(tracer):
+                stamp = time.time()
+                tracer.record("event", stamp)
+            """
+        )
+        assert any("host-clock" in h.labels for h in hits)
+
+    def test_untainted_value_is_silent(self):
+        hits = hits_for(
+            """
+            def f(tracer, engine):
+                tracer.record("event", engine.now)
+            """
+        )
+        assert hits == []
+
+    def test_taint_survives_arithmetic_and_fstrings(self):
+        hits = hits_for(
+            """
+            import time
+
+            def f(tracer):
+                stamp = time.time() * 1000
+                tracer.record("event", f"at {stamp}")
+            """
+        )
+        assert any("host-clock" in h.labels for h in hits)
+
+    def test_branch_join_unions_taint(self):
+        hits = hits_for(
+            """
+            import time
+
+            def f(tracer, fast):
+                if fast:
+                    stamp = 0.0
+                else:
+                    stamp = time.time()
+                tracer.record("event", stamp)
+            """
+        )
+        assert any("host-clock" in h.labels for h in hits)
+
+    def test_rebinding_clears_taint(self):
+        hits = hits_for(
+            """
+            import time
+
+            def f(tracer):
+                stamp = time.time()
+                stamp = 0.0
+                tracer.record("event", stamp)
+            """
+        )
+        assert hits == []
+
+
+class TestSummaries:
+    def test_return_taint_summary(self):
+        project = project_for(
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        )
+        summaries = compute_summaries(project, DeterminismTaintPolicy())
+        assert "host-clock" in summaries["repro.obs.fixture.stamp"].return_taints
+
+    def test_flow_through_summary_uses_param_label(self):
+        project = project_for(
+            """
+            def passthrough(value):
+                return value
+            """
+        )
+        summaries = compute_summaries(project, DeterminismTaintPolicy())
+        summary = summaries["repro.obs.fixture.passthrough"]
+        assert param_label("value") in summary.return_taints
+
+    def test_sink_param_summary(self):
+        project = project_for(
+            """
+            def emit(tracer, payload):
+                tracer.record("event", payload)
+            """
+        )
+        summaries = compute_summaries(project, DeterminismTaintPolicy())
+        assert ("payload", "trace record") in summaries[
+            "repro.obs.fixture.emit"
+        ].sink_params
+
+    def test_taint_through_chained_helpers(self):
+        # source -> helper A -> helper B -> sink: needs two rounds of
+        # summary fixpoint plus call-site substitution.
+        hits = hits_for(
+            """
+            import time
+
+            def read():
+                return time.time()
+
+            def wrap():
+                return {"t": read()}
+
+            def publish(tracer):
+                tracer.record("event", wrap())
+            """
+        )
+        assert any(
+            "host-clock" in h.labels and "publish" in h.function for h in hits
+        )
+
+    def test_sink_inside_helper_flags_call_site(self):
+        hits = hits_for(
+            """
+            import time
+
+            def emit(tracer, payload):
+                tracer.record("event", payload)
+
+            def outer(tracer):
+                emit(tracer, time.time())
+            """
+        )
+        outer_hits = [h for h in hits if "outer" in h.function]
+        assert outer_hits and "via" in outer_hits[0].via
+
+
+class TestOrderLabels:
+    def test_dict_store_kills_order_label(self):
+        hits = hits_for(
+            """
+            def f(tracer, results):
+                payload = {}
+                for name in set(results):
+                    payload[name] = 1
+                tracer.record("event", payload)
+            """
+        )
+        assert hits == []
+
+    def test_list_append_keeps_order_label(self):
+        hits = hits_for(
+            """
+            def f(tracer, results):
+                order = []
+                for name in set(results):
+                    order.append(name)
+                tracer.record("event", order)
+            """
+        )
+        assert any("iter-order" in h.labels for h in hits)
+
+    def test_sorted_sanitizes_order_label(self):
+        hits = hits_for(
+            """
+            def f(tracer, results):
+                order = []
+                for name in sorted(set(results)):
+                    order.append(name)
+                tracer.record("event", order)
+            """
+        )
+        assert hits == []
+
+    def test_inplace_sort_sanitizes(self):
+        hits = hits_for(
+            """
+            def f(tracer, results):
+                order = []
+                for name in set(results):
+                    order.append(name)
+                order.sort()
+                tracer.record("event", order)
+            """
+        )
+        assert hits == []
+
+    def test_dict_comprehension_kills_order_label(self):
+        hits = hits_for(
+            """
+            def f(tracer, results):
+                payload = {name: 1 for name in set(results)}
+                tracer.record("event", payload)
+            """
+        )
+        assert hits == []
+
+    def test_order_label_dies_but_value_label_survives_dict(self):
+        hits = hits_for(
+            """
+            import time
+
+            def f(tracer):
+                payload = {}
+                payload["t"] = time.time()
+                tracer.record("event", payload)
+            """
+        )
+        assert any("host-clock" in h.labels for h in hits)
+
+
+class TestLoops:
+    def test_loop_carried_taint_reaches_fixpoint(self):
+        hits = hits_for(
+            """
+            import time
+
+            def f(tracer, n):
+                acc = []
+                for _ in range(n):
+                    acc.append(time.time())
+                tracer.record("event", acc)
+            """
+        )
+        assert any("host-clock" in h.labels for h in hits)
+
+    def test_while_loop_terminates(self):
+        hits = hits_for(
+            """
+            import time
+
+            def f(tracer):
+                value = 0.0
+                while value < 10:
+                    value = value + time.time()
+                tracer.record("event", value)
+            """
+        )
+        assert any("host-clock" in h.labels for h in hits)

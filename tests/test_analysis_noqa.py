@@ -1,0 +1,96 @@
+"""Shared noqa-parser tests, including the PR-1 parser's fixed bugs."""
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.noqa import ALL_CODES, filter_noqa, is_suppressed, noqa_lines
+from repro.analysis.simlint import lint_source
+
+
+def diag(code, line):
+    return Diagnostic(code=code, message="m", path="p.py", line=line)
+
+
+class TestNoqaParsing:
+    def test_bare_noqa(self):
+        assert noqa_lines("x = 1  # noqa\n") == {1: {ALL_CODES}}
+
+    def test_single_code(self):
+        assert noqa_lines("x = 1  # noqa: SIM104\n") == {1: {"SIM104"}}
+
+    def test_multi_rule_comma_list(self):
+        assert noqa_lines("x = 1  # noqa: SIM104,SIM111\n") == {
+            1: {"SIM104", "SIM111"}
+        }
+
+    def test_multi_rule_with_spaces(self):
+        assert noqa_lines("x = 1  # noqa: SIM104, SVC401\n") == {
+            1: {"SIM104", "SVC401"}
+        }
+
+    def test_trailing_prose_not_parsed_as_codes(self):
+        # PR-1 bug: every trailing word became a "code".
+        assert noqa_lines(
+            "x = 1  # noqa: SIM104,SIM111 shared ring buffer\n"
+        ) == {1: {"SIM104", "SIM111"}}
+
+    def test_second_comment_on_line(self):
+        # PR-1 bug: the partition at the first colon broke this.
+        assert noqa_lines("x = f()  # type: ignore  # noqa\n") == {
+            1: {ALL_CODES}
+        }
+
+    def test_case_insensitive(self):
+        assert noqa_lines("x = 1  # NOQA: sim104\n") == {1: {"SIM104"}}
+
+    def test_multiple_noqa_union(self):
+        assert noqa_lines("x = 1  # noqa: SIM104  # noqa: SVC401\n") == {
+            1: {"SIM104", "SVC401"}
+        }
+
+    def test_line_without_comment_ignored(self):
+        assert noqa_lines("x = 1\ny = 2  # plain comment\n") == {}
+
+    def test_word_containing_noqa_not_matched(self):
+        assert noqa_lines("x = 1  # noqable idea\n") == {}
+
+
+class TestSuppression:
+    def test_bare_suppresses_everything(self):
+        suppressed = {3: {ALL_CODES}}
+        assert is_suppressed(diag("SIM201", 3), suppressed)
+
+    def test_listed_code_suppressed(self):
+        suppressed = {3: {"SIM201"}}
+        assert is_suppressed(diag("SIM201", 3), suppressed)
+        assert not is_suppressed(diag("SVC401", 3), suppressed)
+
+    def test_other_line_not_suppressed(self):
+        assert not is_suppressed(diag("SIM201", 4), {3: {ALL_CODES}})
+
+    def test_filter_noqa(self):
+        source = "a = 1  # noqa: X100\nb = 2\n"
+        kept = filter_noqa([diag("X100", 1), diag("X100", 2)], source)
+        assert [d.line for d in kept] == [2]
+
+
+class TestLintIntegration:
+    def test_multi_rule_suppression_in_lint(self):
+        # The satellite bug: ``# noqa: SIM104,SIM111`` must suppress both.
+        source = (
+            "def f(acc=[]):  # noqa: SIM104,SIM103 shared accumulator\n"
+            "    return acc\n"
+        )
+        diagnostics = lint_source(
+            source,
+            path="src/repro/sim/fixture.py",
+            module="repro.sim.fixture",
+        )
+        assert diagnostics == []
+
+    def test_unlisted_code_still_fires(self):
+        source = "def f(acc=[]):  # noqa: SIM106\n    return acc\n"
+        diagnostics = lint_source(
+            source,
+            path="src/repro/sim/fixture.py",
+            module="repro.sim.fixture",
+        )
+        assert [d.code for d in diagnostics] == ["SIM104"]

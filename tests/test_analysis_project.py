@@ -1,0 +1,207 @@
+"""Project-model tests: module graph, cycles, re-exports, call resolution."""
+
+import textwrap
+
+from repro.analysis.project import (
+    Project,
+    module_name_from_path,
+    package_of,
+)
+
+
+def build(**files):
+    """Build a project from ``{dotted_suffix: source}`` under src/repro."""
+    sources = {}
+    for dotted, source in files.items():
+        path = "src/repro/" + dotted.replace("__", "/") + ".py"
+        sources[path] = textwrap.dedent(source)
+    return Project.from_sources(sources)
+
+
+class TestModuleNames:
+    def test_src_prefix_stripped(self):
+        assert module_name_from_path("src/repro/sim/flow.py") == "repro.sim.flow"
+
+    def test_init_normalizes_to_package(self):
+        assert module_name_from_path("src/repro/obs/__init__.py") == "repro.obs"
+
+    def test_package_of(self):
+        assert package_of("repro.service.tasks") == "service"
+        assert package_of("repro.units") == "units"
+
+
+class TestModuleGraph:
+    def test_import_edge(self):
+        project = build(
+            sim__a="from repro.sim.b import helper\n",
+            sim__b="def helper():\n    return 1\n",
+        )
+        graph = project.module_graph()
+        assert graph["repro.sim.a"] == {"repro.sim.b"}
+        assert graph["repro.sim.b"] == set()
+
+    def test_lazy_function_body_imports_counted(self):
+        # repro.service.tasks imports lazily inside functions; the graph
+        # must still see those edges for worker reachability.
+        project = build(
+            service__tasks=(
+                "def execute(payload):\n"
+                "    from repro.obs.campaign import run_cell\n"
+                "    return run_cell(payload)\n"
+            ),
+            obs__campaign="def run_cell(p):\n    return p\n",
+        )
+        assert (
+            "repro.obs.campaign"
+            in project.module_graph()["repro.service.tasks"]
+        )
+
+    def test_reachable_modules_transitive(self):
+        project = build(
+            service__tasks="from repro.obs.campaign import run\n",
+            obs__campaign="from repro.obs.store import StoredCell\n",
+            obs__store="class StoredCell:\n    pass\n",
+            sim__flow="x = 1\n",
+        )
+        reachable = project.reachable_modules(["repro.service.tasks"])
+        assert "repro.obs.store" in reachable
+        assert "repro.sim.flow" not in reachable
+
+    def test_import_cycles_detected(self):
+        project = build(
+            sim__a="from repro.sim.b import f\n",
+            sim__b="from repro.sim.a import g\n",
+        )
+        cycles = project.import_cycles()
+        assert ["repro.sim.a", "repro.sim.b"] in cycles
+
+    def test_cycle_reported_once(self):
+        project = build(
+            sim__a="from repro.sim.b import f\n",
+            sim__b="from repro.sim.c import g\n",
+            sim__c="from repro.sim.a import h\n",
+        )
+        assert len(project.import_cycles()) == 1
+
+    def test_acyclic_tree_has_no_cycles(self):
+        project = build(
+            sim__a="from repro.sim.b import f\n",
+            sim__b="def f():\n    pass\n",
+        )
+        assert project.import_cycles() == []
+
+
+class TestReExports:
+    def test_reexport_through_init_resolves_to_definition(self):
+        project = Project.from_sources(
+            {
+                "src/repro/obs/__init__.py": (
+                    "from repro.obs.store import canonical_json\n"
+                ),
+                "src/repro/obs/store.py": (
+                    "def canonical_json(payload):\n    return payload\n"
+                ),
+            }
+        )
+        assert (
+            project.resolve_symbol("repro.obs.canonical_json")
+            == "repro.obs.store.canonical_json"
+        )
+
+    def test_chained_reexport(self):
+        project = Project.from_sources(
+            {
+                "src/repro/__init__.py": (
+                    "from repro.obs import canonical_json\n"
+                ),
+                "src/repro/obs/__init__.py": (
+                    "from repro.obs.store import canonical_json\n"
+                ),
+                "src/repro/obs/store.py": (
+                    "def canonical_json(payload):\n    return payload\n"
+                ),
+            }
+        )
+        assert (
+            project.resolve_symbol("repro.canonical_json")
+            == "repro.obs.store.canonical_json"
+        )
+
+    def test_unknown_symbol_passes_through(self):
+        project = build(sim__a="x = 1\n")
+        assert project.resolve_symbol("json.dumps") == "json.dumps"
+
+
+class TestCallResolution:
+    def test_local_function_call(self):
+        project = build(
+            sim__a="def helper():\n    return 1\n\ndef outer():\n    return helper()\n",
+        )
+        module = project.modules["repro.sim.a"]
+        call = module.functions[1].node.body[0].value
+        resolved = project.function_for_call(call, module)
+        assert resolved is not None
+        assert resolved.qualname == "repro.sim.a.helper"
+
+    def test_imported_alias_call(self):
+        project = build(
+            sim__a="from repro.sim.b import helper as h\n\ndef outer():\n    return h()\n",
+            sim__b="def helper():\n    return 1\n",
+        )
+        module = project.modules["repro.sim.a"]
+        call = module.functions[0].node.body[0].value
+        resolved = project.function_for_call(call, module)
+        assert resolved is not None
+        assert resolved.qualname == "repro.sim.b.helper"
+
+    def test_common_method_names_never_resolve(self):
+        # Exactly one project method is named ``get`` — a dict.get() call
+        # must still not bind to it.
+        project = build(
+            sim__a="class Cache:\n    def get(self, key):\n        return key\n",
+            sim__b="def use(d):\n    return d.get('x')\n",
+        )
+        module = project.modules["repro.sim.b"]
+        call = module.functions[0].node.body[0].value
+        assert project.function_for_call(call, module) is None
+
+    def test_unique_method_name_resolves(self):
+        project = build(
+            sim__a=(
+                "class Store:\n"
+                "    def append_cell(self, name, cell):\n"
+                "        return cell\n"
+            ),
+            sim__b="def use(store):\n    return store.append_cell('x', 1)\n",
+        )
+        module = project.modules["repro.sim.b"]
+        call = module.functions[0].node.body[0].value
+        resolved = project.function_for_call(call, module)
+        assert resolved is not None
+        assert resolved.qualname == "repro.sim.a.Store.append_cell"
+
+
+class TestIndexes:
+    def test_mutable_globals_detected(self):
+        project = build(
+            sim__a="CACHE = {}\nFROZEN = (1, 2)\nNAMES = ['a']\n",
+        )
+        module = project.modules["repro.sim.a"]
+        assert set(module.mutable_globals) == {"CACHE", "NAMES"}
+
+    def test_syntax_error_file_skipped(self):
+        project = Project.from_sources(
+            {
+                "src/repro/sim/bad.py": "def broken(:\n",
+                "src/repro/sim/good.py": "x = 1\n",
+            }
+        )
+        assert "repro.sim.good" in project.modules
+        assert "repro.sim.bad" not in project.modules
+
+    def test_methods_indexed_with_class(self):
+        project = build(
+            sim__a="class Engine:\n    def advance(self, dt):\n        pass\n",
+        )
+        assert "repro.sim.a.Engine.advance" in project.functions
+        assert project.functions["repro.sim.a.Engine.advance"].cls == "Engine"

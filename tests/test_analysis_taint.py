@@ -1,0 +1,262 @@
+"""SIM2xx analyzer tests: one true positive PR-1 rules cannot see, plus
+sanctioned-path negatives, for each rule."""
+
+import textwrap
+
+from repro.analysis.project import Project
+from repro.analysis.taint import check_determinism_taint
+
+
+def check(sources):
+    project = Project.from_sources(
+        {path: textwrap.dedent(src) for path, src in sources.items()}
+    )
+    return check_determinism_taint(project)
+
+
+def codes(sources):
+    return [d.code for d in check(sources)]
+
+
+class TestSIM201HostClock:
+    def test_clock_through_helper_into_store_record(self):
+        # The acceptance true positive: SIM109 sees nothing here (the
+        # clock call is plain) but the value lands in a StoredCell.
+        found = codes(
+            {
+                "src/repro/obs/fixture.py": """
+                import time
+                from repro.obs.store import StoredCell
+
+                def _stamp():
+                    return time.time()
+
+                def record(store, key):
+                    cell = StoredCell(
+                        cell_id="c", key=key, deterministic={"t": _stamp()}
+                    )
+                    store.append_cell("results", cell)
+                """
+            }
+        )
+        assert "SIM201" in found
+
+    def test_cross_module_helper_chain(self):
+        found = codes(
+            {
+                "src/repro/service/helpers.py": """
+                import time
+
+                def wall_stamp():
+                    return time.time()
+                """,
+                "src/repro/obs/fixture.py": """
+                from repro.service.helpers import wall_stamp
+
+                def publish(tracer):
+                    tracer.record("event", wall_stamp())
+                """,
+            }
+        )
+        assert "SIM201" in found
+
+    def test_hostmetrics_module_is_sanctioned(self):
+        found = codes(
+            {
+                "src/repro/obs/hostmetrics.py": """
+                import time
+
+                def read_clock():
+                    return time.time()
+                """,
+                "src/repro/obs/fixture.py": """
+                from repro.obs.hostmetrics import read_clock
+
+                def publish(tracer):
+                    tracer.record("event", read_clock())
+                """,
+            }
+        )
+        assert found == []
+
+    def test_runtime_package_is_sanctioned(self):
+        found = codes(
+            {
+                "src/repro/runtime/threaded.py": """
+                import time
+                from repro.obs.store import StoredCell
+
+                def snapshot():
+                    return StoredCell(cell_id="c", key=time.time())
+                """
+            }
+        )
+        assert found == []
+
+    def test_host_kwarg_is_exempt_by_design(self):
+        found = codes(
+            {
+                "src/repro/obs/fixture.py": """
+                import time
+                from repro.obs.store import StoredCell
+
+                def record(metrics):
+                    return StoredCell(
+                        cell_id="c",
+                        key="k",
+                        deterministic={},
+                        host={"wall": time.time()},
+                    )
+                """
+            }
+        )
+        assert found == []
+
+    def test_manifest_provenance_kwargs_exempt(self):
+        found = codes(
+            {
+                "src/repro/obs/fixture.py": """
+                import subprocess
+
+                def build(sha, RunManifest):
+                    return RunManifest(git_sha=sha, workflow="w")
+                """
+            }
+        )
+        assert found == []
+
+    def test_clock_into_manifest_kwarg_flagged(self):
+        found = codes(
+            {
+                "src/repro/obs/fixture.py": """
+                import time
+
+                def build(build_manifest):
+                    return build_manifest(workflow="w", stamp=time.time())
+                """
+            }
+        )
+        assert "SIM201" in found
+
+
+class TestSIM202Entropy:
+    def test_uuid_into_cell_id_hash(self):
+        found = codes(
+            {
+                "src/repro/obs/fixture.py": """
+                import uuid
+                from repro.obs.store import cell_id_from_manifests
+
+                def make_id():
+                    return cell_id_from_manifests([{"run": str(uuid.uuid4())}])
+                """
+            }
+        )
+        assert "SIM202" in found
+
+    def test_seeded_random_module_alias(self):
+        found = codes(
+            {
+                "src/repro/obs/fixture.py": """
+                import random
+
+                def jitter(tracer):
+                    tracer.record("event", random.random())
+                """
+            }
+        )
+        assert "SIM202" in found
+
+    def test_getpid_into_store(self):
+        found = codes(
+            {
+                "src/repro/obs/fixture.py": """
+                import os
+                from repro.obs.store import StoredCell
+
+                def record():
+                    return StoredCell(cell_id="c", key=os.getpid())
+                """
+            }
+        )
+        assert "SIM202" in found
+
+
+class TestSIM203IterOrder:
+    def test_listdir_order_into_trace(self):
+        found = codes(
+            {
+                "src/repro/obs/fixture.py": """
+                import os
+
+                def emit(tracer, root):
+                    names = []
+                    for name in os.listdir(root):
+                        names.append(name)
+                    tracer.record("files", names)
+                """
+            }
+        )
+        assert "SIM203" in found
+
+    def test_sorted_listdir_is_clean(self):
+        found = codes(
+            {
+                "src/repro/obs/fixture.py": """
+                import os
+
+                def emit(tracer, root):
+                    names = []
+                    for name in sorted(os.listdir(root)):
+                        names.append(name)
+                    tracer.record("files", names)
+                """
+            }
+        )
+        assert found == []
+
+    def test_set_iteration_into_dict_is_clean(self):
+        # canonical_json serializes with sort_keys=True: dict stores
+        # forget iteration order by construction.
+        found = codes(
+            {
+                "src/repro/obs/fixture.py": """
+                def emit(tracer, results):
+                    payload = {}
+                    for name in set(results):
+                        payload[name] = 1
+                    tracer.record("done", payload)
+                """
+            }
+        )
+        assert found == []
+
+
+class TestSuppression:
+    def test_noqa_suppresses_taint_finding(self):
+        found = codes(
+            {
+                "src/repro/obs/fixture.py": """
+                import time
+
+                def publish(tracer):
+                    tracer.record("event", time.time())  # noqa: SIM201 startup marker
+                """
+            }
+        )
+        assert found == []
+
+    def test_hotpath_marker_does_not_suppress_taint(self):
+        # ``# simlint: hotpath`` feeds SIM111 only; dataflow findings on
+        # the same function still fire.
+        found = codes(
+            {
+                "src/repro/obs/fixture.py": """
+                import time
+
+                def publish(tracer):  # simlint: hotpath
+                    tracer.record("event", time.time())
+                """
+            }
+        )
+        assert "SIM201" in found

@@ -1,0 +1,212 @@
+"""UNIT6xx dimension-checker tests."""
+
+import textwrap
+
+from repro.analysis.project import Project
+from repro.analysis.units_check import check_units
+
+
+def check(source, path="src/repro/sim/flow_fixture.py"):
+    project = Project.from_sources({path: textwrap.dedent(source)})
+    return check_units(project)
+
+
+def codes(source, path="src/repro/sim/flow_fixture.py"):
+    return [d.code for d in check(source, path)]
+
+
+class TestUNIT601Arithmetic:
+    def test_bytes_plus_seconds_flagged(self):
+        # The acceptance true positive: floats add happily, the makespan
+        # is silently garbage.
+        assert "UNIT601" in codes(
+            """
+            def drain(op_bytes, setup_seconds):
+                return op_bytes + setup_seconds
+            """
+        )
+
+    def test_bytes_plus_bytes_clean(self):
+        assert codes(
+            """
+            def total(op_bytes, header_bytes):
+                return op_bytes + header_bytes
+            """
+        ) == []
+
+    def test_dimensionless_literal_combines_freely(self):
+        assert codes(
+            """
+            def pad(op_bytes):
+                return op_bytes + 64
+            """
+        ) == []
+
+    def test_unit_constant_dimensions_inferred(self):
+        assert "UNIT601" in codes(
+            """
+            from repro.units import KiB, MILLISECOND
+
+            def bad():
+                return 4 * KiB + 2 * MILLISECOND
+            """
+        )
+
+    def test_rate_times_seconds_is_bytes(self):
+        assert codes(
+            """
+            def moved(bandwidth_bps, dt):
+                moved_bytes = bandwidth_bps * dt
+                return moved_bytes
+            """
+        ) == []
+
+    def test_bytes_div_seconds_is_rate(self):
+        assert codes(
+            """
+            def rate(op_bytes, elapsed):
+                bw = op_bytes / elapsed
+                return bw
+            """
+        ) == []
+
+    def test_bytes_div_rate_is_seconds(self):
+        assert codes(
+            """
+            def drain(op_bytes, bandwidth_bps):
+                latency = op_bytes / bandwidth_bps
+                return latency
+            """
+        ) == []
+
+    def test_augmented_mixed_add_flagged(self):
+        assert "UNIT601" in codes(
+            """
+            def accumulate(makespan, chunk_bytes):
+                makespan += chunk_bytes
+                return makespan
+            """
+        )
+
+
+class TestUNIT602Comparison:
+    def test_bytes_vs_seconds_comparison_flagged(self):
+        assert "UNIT602" in codes(
+            """
+            def check(chunk_bytes, deadline):
+                return chunk_bytes < deadline
+            """
+        )
+
+    def test_same_dimension_comparison_clean(self):
+        assert codes(
+            """
+            def check(chunk_bytes, capacity_bytes):
+                return chunk_bytes < capacity_bytes
+            """
+        ) == []
+
+    def test_literal_comparison_clean(self):
+        assert codes(
+            """
+            def check(chunk_bytes):
+                return chunk_bytes > 0
+            """
+        ) == []
+
+
+class TestUNIT603Binding:
+    def test_seconds_bound_to_bytes_name_flagged(self):
+        assert "UNIT603" in codes(
+            """
+            from repro.units import MILLISECOND
+
+            def f():
+                chunk_bytes = 2.0 * MILLISECOND
+                return chunk_bytes
+            """
+        )
+
+    def test_rate_magnitude_idiom_allowed(self):
+        # ``30.0 * GB`` meaning GB/s is the calibration-table idiom.
+        assert codes(
+            """
+            from repro.units import GB
+
+            def f():
+                upi_bandwidth = 30.0 * GB
+                return upi_bandwidth
+            """
+        ) == []
+
+    def test_kwarg_dimension_mismatch_flagged(self):
+        assert "UNIT603" in codes(
+            """
+            from repro.units import MILLISECOND
+
+            def f(build):
+                return build(op_bytes=3 * MILLISECOND)
+            """
+        )
+
+    def test_return_from_suffixed_function_checked(self):
+        assert "UNIT603" in codes(
+            """
+            from repro.units import SECOND
+
+            def window_bytes(n):
+                return n * SECOND
+            """
+        )
+
+    def test_propagation_through_locals(self):
+        assert "UNIT601" in codes(
+            """
+            from repro.units import MiB
+
+            def f(dt):
+                size = 4 * MiB
+                return size + dt
+            """
+        )
+
+
+class TestScope:
+    def test_out_of_scope_module_not_checked(self):
+        assert codes(
+            """
+            def f(op_bytes, dt):
+                return op_bytes + dt
+            """,
+            path="src/repro/obs/export_fixture.py",
+        ) == []
+
+    def test_pmem_package_in_scope(self):
+        assert "UNIT601" in codes(
+            """
+            def f(op_bytes, dt):
+                return op_bytes + dt
+            """,
+            path="src/repro/pmem/device_fixture.py",
+        )
+
+    def test_platform_package_in_scope(self):
+        assert "UNIT602" in codes(
+            """
+            def f(capacity_bytes, deadline):
+                return capacity_bytes == deadline
+            """,
+            path="src/repro/platform/node_fixture.py",
+        )
+
+    def test_noqa_suppresses(self):
+        assert codes(
+            """
+            def f(op_bytes, dt):
+                return op_bytes + dt  # noqa: UNIT601 deliberate packing
+            """
+        ) == []
+
+    def test_real_tree_is_clean(self):
+        project = Project.load(["src/repro"])
+        assert [d.code for d in check_units(project)] == []
