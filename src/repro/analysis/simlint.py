@@ -91,7 +91,12 @@ WALLCLOCK_EXEMPT_PACKAGES: Set[str] = {"runtime", "analysis", "service"}
 #: Everything else — including the rest of :mod:`repro.obs` and the
 #: SIM101-exempt analysis tooling — must not read the host clock.
 HOST_CLOCK_ALLOWED_PACKAGES: Set[str] = {"runtime", "service"}
-HOST_CLOCK_ALLOWED_MODULES: Set[str] = {"repro.obs.hostmetrics"}
+HOST_CLOCK_ALLOWED_MODULES: Set[str] = {
+    "repro.obs.hostmetrics",
+    # The wall-clock telemetry plane (PR 7): registry timestamps, span
+    # recording, and uptime derivation are its contract.
+    "repro.obs.telemetry",
+}
 
 #: Where host-concurrency imports are sanctioned (SIM110): the service's
 #: worker pool / signal handling, and the real threaded executor.

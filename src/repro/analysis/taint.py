@@ -73,7 +73,7 @@ LABEL_RULES: Tuple[Tuple[str, str], ...] = (
 
 #: The only modules whose host-clock use is part of their contract.
 SANCTIONED_SOURCE_MODULES: FrozenSet[str] = frozenset(
-    {"repro.obs.hostmetrics"}
+    {"repro.obs.hostmetrics", "repro.obs.telemetry"}
 )
 SANCTIONED_SOURCE_PACKAGES: FrozenSet[str] = frozenset({"runtime"})
 

@@ -26,8 +26,13 @@ bandwidth fell below the model ceiling — flows through this package:
   (JSONL under ``campaigns/``) with content-hashed cell ids and a strict
   deterministic / host / provenance payload split.
 * :mod:`repro.obs.hostmetrics` — host-side self-metrics (wall clock, peak
-  tracemalloc, optional cProfile hotspots); the one sanctioned wall-clock
+  tracemalloc, optional cProfile hotspots); a sanctioned wall-clock
   reader outside :mod:`repro.runtime` (simlint SIM109).
+* :mod:`repro.obs.telemetry` — the *wall-clock* telemetry plane for the
+  scheduling service: live metrics registry (counters, gauges, latency
+  histograms with p50/p95/p99), cross-process lifecycle spans with trace
+  ids, Prometheus text exposition, and the stitched service trace that
+  nests wall-time spans above virtual-time simulation spans.
 * :mod:`repro.obs.campaign` — the campaign runner over the paper suite,
   the regression diff engine (makespan drift, winner flips, paper-claim
   changes) and the markdown/terminal dashboards.
@@ -68,6 +73,16 @@ from repro.obs.probes import Counter, Gauge, Histogram, ProbeRegistry
 from repro.obs.report import diff_report, hot_phase_report
 from repro.obs.spans import Span, build_spans
 from repro.obs.store import CampaignStore, StoredCampaign, StoredCell
+from repro.obs.telemetry import (
+    SpanRecorder,
+    TelemetryRegistry,
+    WallSpan,
+    mint_trace_id,
+    prometheus_exposition,
+    service_chrome_trace,
+    validate_exposition,
+    validate_snapshot,
+)
 
 __all__ = [
     "CampaignDiff",
@@ -83,8 +98,11 @@ __all__ = [
     "RunManifest",
     "SUITE_PRESETS",
     "Span",
+    "SpanRecorder",
     "StoredCampaign",
     "StoredCell",
+    "TelemetryRegistry",
+    "WallSpan",
     "aggregate_host_metrics",
     "bench_record",
     "build_manifest",
@@ -98,9 +116,12 @@ __all__ = [
     "diff_report",
     "hot_phase_report",
     "metrics_records",
+    "mint_trace_id",
     "observe_workflow",
+    "prometheus_exposition",
     "run_campaign",
     "run_cell",
+    "service_chrome_trace",
     "simulated_host_metrics",
     "span_records",
     "threaded_host_metrics",
@@ -108,4 +129,6 @@ __all__ = [
     "to_jsonl",
     "trace_makespans",
     "validate_chrome_trace",
+    "validate_exposition",
+    "validate_snapshot",
 ]

@@ -291,6 +291,7 @@ def run_spec_cell(
     profile: bool = False,
     profile_top: Optional[int] = None,
     jobs: int = 1,
+    on_observation: Optional[Callable[[Observation], None]] = None,
 ) -> CellResult:
     """Execute one cell for an already-built spec (suite member or not).
 
@@ -299,6 +300,11 @@ def run_spec_cell(
     :func:`~repro.apps.suite.build_workflow` so paper expectations attach.
     With ``jobs > 1`` the configurations are evaluated in parallel worker
     processes (the deterministic payload is byte-identical either way).
+
+    ``on_observation`` fires after each configuration's run completes
+    (serial path only) — the service worker's telemetry hook.  The
+    callback sees the finished :class:`~repro.obs.capture.Observation`;
+    nothing it does can alter the deterministic payload.
     """
     if not configs:
         raise ConfigurationError("a campaign cell needs at least one config")
@@ -339,10 +345,13 @@ def run_spec_cell(
     meter_kwargs: Dict[str, Any] = {"profile": profile}
     if profile_top is not None:
         meter_kwargs["profile_top"] = profile_top
+    observations: List[Observation] = []
     with HostMeter(**meter_kwargs) as meter:
-        observations = [
-            observe_workflow(spec, config, cal=cal) for config in configs
-        ]
+        for config in configs:
+            observation = observe_workflow(spec, config, cal=cal)
+            if on_observation is not None:
+                on_observation(observation)
+            observations.append(observation)
     return _assemble_cell(
         spec,
         family,
@@ -366,6 +375,7 @@ def run_cell(
     matmul_dim: Optional[int] = None,
     profile: bool = False,
     profile_top: Optional[int] = None,
+    on_observation: Optional[Callable[[Observation], None]] = None,
 ) -> CellResult:
     """Execute one campaign cell: every configuration of one workflow."""
     if not configs:
@@ -385,6 +395,7 @@ def run_cell(
         ranks=ranks,
         profile=profile,
         profile_top=profile_top,
+        on_observation=on_observation,
     )
 
 
@@ -807,6 +818,28 @@ def _heatmap_cell(makespan: float, best: float, is_winner: bool) -> str:
     return f"**{text}**" if is_winner else text
 
 
+def _memo_warnings(run: CampaignRun) -> List[str]:
+    """Cells where the solver memo never hit despite being exercised.
+
+    GTC-class workflows are the ROADMAP's "next 10×" target precisely
+    because BENCH_simcore shows their memo hit rate pinned at 0.0 — this
+    keeps that signal visible in every report instead of buried in the
+    host-cost table.
+    """
+    warnings = []
+    for cell in run.cells:
+        if not cell.key.startswith("gtc"):
+            continue
+        misses = cell.host.solver_memo_misses
+        if misses > 0 and cell.host.solver_memo_hits == 0:
+            warnings.append(
+                f"{cell.key}: solver memo hit rate is 0.0% "
+                f"(0/{misses:.0f}) — every flow solve recomputed from "
+                "scratch; see the ROADMAP memoization item"
+            )
+    return warnings
+
+
 def campaign_report(run: CampaignRun, markdown: bool = True) -> str:
     """The suite dashboard: heatmap, paper hit rate, host cost summary."""
     config_labels: List[str] = []
@@ -817,15 +850,32 @@ def campaign_report(run: CampaignRun, markdown: bool = True) -> str:
     lines: List[str] = []
     hits, expected = run.hit_rate
     host = run.host_total()
+    memo_warnings = _memo_warnings(run)
+    memo_lookups = host.solver_memo_hits + host.solver_memo_misses
+    # Synthetic/imported runs without solver counters skip the memo note.
+    memo_line = (
+        f"solver memo hit rate {host.memo_hit_rate:.1%} "
+        f"({host.solver_memo_hits:.0f}/{memo_lookups:.0f})"
+        if memo_lookups
+        else ""
+    )
     if markdown:
+        head = f"{len(run.cells)} cell(s)"
+        if expected:
+            head += f"; paper-winner hit rate **{hits}/{expected}**"
+        if memo_line:
+            head += f"; {memo_line}"
         lines += [
             f"# Campaign `{run.name}` ({run.suite} suite)",
             "",
-            f"{len(run.cells)} cell(s); paper-winner hit rate "
-            f"**{hits}/{expected}**."
-            if expected
-            else f"{len(run.cells)} cell(s).",
+            head + ".",
             "",
+        ]
+        for warning in memo_warnings:
+            lines.append(f"> **Warning:** {warning}")
+        if memo_warnings:
+            lines.append("")
+        lines += [
             "## Runtime heatmap (normalized to each cell's best config)",
             "",
             "| cell | " + " | ".join(config_labels) + " | winner | paper |",
@@ -893,6 +943,10 @@ def campaign_report(run: CampaignRun, markdown: bool = True) -> str:
     lines.append(f"== campaign {run.name} ({run.suite} suite) ==")
     if expected:
         lines.append(f"paper-winner hit rate: {hits}/{expected}")
+    if memo_line:
+        lines.append(memo_line)
+    for warning in memo_warnings:
+        lines.append(f"WARNING: {warning}")
     header = f"{'cell':<22}" + "".join(f"{label:>9}" for label in config_labels)
     lines.append(header + f"  {'winner':>8}  paper")
     for cell in run.cells:

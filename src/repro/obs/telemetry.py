@@ -1,0 +1,988 @@
+"""Wall-clock telemetry: live metrics, lifecycle spans, Prometheus text.
+
+Everything else in :mod:`repro.obs` is clocked on *virtual* time and must
+be byte-identical across reruns; this module is the opposite — it is the
+live sensor plane of the scheduling service, clocked on the host's
+wall clock.  It provides:
+
+* :class:`TelemetryRegistry` — labelled counters, gauges, and
+  fixed-bucket latency histograms with p50/p95/p99 derivation
+  (Prometheus-style cumulative buckets with linear interpolation);
+* :class:`SpanRecorder` + :class:`WallSpan` — a per-job lifecycle event
+  stream.  A ``trace_id`` is minted at submit (:func:`mint_trace_id`, a
+  pure function of the job id so nothing new needs persisting), carried
+  through :class:`~repro.service.pool.WorkerPool` task payloads into the
+  worker process, and stitched back into one trace in the parent;
+* exporters — JSONL snapshot records (:meth:`TelemetryRegistry.snapshot`),
+  the Prometheus text exposition format
+  (:func:`prometheus_exposition`), and a Chrome trace-event document
+  (:func:`service_chrome_trace`) in which wall-time service spans nest
+  *above* the virtual-time simulation spans of the runs they triggered
+  (virtual time is linearly rescaled into each run's measured wall
+  window, so Perfetto shows one coherent timeline per job);
+* in-tree validators for both exposition text and snapshot records
+  (:func:`validate_exposition`, :func:`validate_snapshot`) — used by the
+  tests and the CI service job.
+
+Telemetry is strictly additive: a disabled registry/recorder hands out
+shared null instruments whose mutators are empty, and nothing in this
+module ever writes into a deterministic artifact — cell ids, campaign
+stores, and queue payloads are byte-identical with telemetry on or off
+(a regression test enforces this).  This module is a sanctioned host
+clock reader (simlint SIM109, dataflow rule SIM201); wall-clock values it
+produces must never flow into trace/store/manifest sinks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import SimulationError
+from repro.units import MICROSECOND
+
+#: Version of the telemetry snapshot schema (bumped on breaking changes).
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Default latency histogram bucket upper bounds, in seconds.  Chosen to
+#: resolve both cache-hit service latencies (sub-millisecond) and real
+#: simulation runs (seconds to minutes); the implicit final bucket is +Inf.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    120.0,
+    300.0,
+)
+
+#: Quantiles every histogram snapshot derives.
+DERIVED_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+#: Prometheus metric-name grammar (also applied to snapshot names).
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Prometheus label-name grammar.
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: ``tid`` of the wall-time service track inside each job's trace process.
+SERVICE_TID = 0
+
+#: ``tid`` offset separating simulated reader tracks from writer tracks in
+#: a stitched service trace (mirrors :mod:`repro.obs.export`).
+READER_TID_OFFSET = 1000
+
+
+def mint_trace_id(job_id: str) -> str:
+    """The trace id of one submitted job.
+
+    A pure function of the job id: stable across processes and restarts,
+    and — crucially — it needs no new field in the queue file, so queue
+    bytes are identical whether or not telemetry is enabled.
+    """
+    return hashlib.sha256(f"trace|{job_id}".encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Instruments.
+# ----------------------------------------------------------------------
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Dict[str, str]) -> LabelItems:
+    for key, value in labels.items():
+        if not LABEL_NAME_RE.match(key):
+            raise SimulationError(f"invalid telemetry label name {key!r}")
+        if not isinstance(value, str):
+            raise SimulationError(
+                f"telemetry label {key!r} must be a string, got "
+                f"{type(value).__name__}"
+            )
+    return tuple(sorted(labels.items()))
+
+
+class WallInstrument:
+    """Identity of one wall-clock metric stream (name + sorted labels)."""
+
+    kind = "instrument"
+
+    __slots__ = ("name", "labels", "help_text")
+
+    def __init__(self, name: str, labels: LabelItems, help_text: str) -> None:
+        if not METRIC_NAME_RE.match(name):
+            raise SimulationError(f"invalid telemetry metric name {name!r}")
+        self.name = name
+        self.labels = labels
+        self.help_text = help_text
+
+    @property
+    def key(self) -> Tuple[str, str, LabelItems]:
+        return (self.kind, self.name, self.labels)
+
+    @property
+    def label(self) -> str:
+        """Display label: ``name{k="v",...}`` (stable, sorted labels)."""
+        if not self.labels:
+            return self.name
+        inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return f"{self.name}{{{inner}}}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "help": self.help_text,
+        }
+
+
+class WallCounter(WallInstrument):
+    """Monotonic wall-side total (jobs submitted, cache hits, retries)."""
+
+    kind = "counter"
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelItems = (), help_text: str = ""):
+        super().__init__(name, labels, help_text)
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise SimulationError(
+                f"counter {self.label}: increment must be >= 0, got {amount}"
+            )
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        data = super().as_dict()
+        data["value"] = self.value
+        return data
+
+
+class WallGauge(WallInstrument):
+    """Point-in-time wall-side level (queue depth, worker utilization)."""
+
+    kind = "gauge"
+
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, labels: LabelItems = (), help_text: str = ""):
+        super().__init__(name, labels, help_text)
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> Dict[str, Any]:
+        data = super().as_dict()
+        data["value"] = self.value
+        return data
+
+
+class WallHistogram(WallInstrument):
+    """Fixed-bucket wall-time histogram with derived quantiles.
+
+    Buckets are cumulative upper bounds in the Prometheus style; the final
+    implicit bucket is +Inf.  Quantiles are derived the way
+    ``histogram_quantile()`` derives them: find the bucket the target rank
+    falls in and interpolate linearly between its bounds.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, labels, help_text)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise SimulationError(f"histogram {name!r} needs >= 1 bucket")
+        if len(set(bounds)) != len(bounds):
+            raise SimulationError(f"histogram {name!r} has duplicate buckets")
+        self.buckets = bounds
+        #: One count per finite bucket plus the +Inf overflow bucket —
+        #: *non*-cumulative internally; cumulated at snapshot time.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``[(le, cumulative_count), ...]`` ending with the +Inf bucket."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.bucket_counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile *q* in [0, 1] (0.0 when empty)."""
+        if self.count <= 0:
+            return 0.0
+        target = q * self.count
+        previous_bound = 0.0
+        previous_cum = 0
+        for bound, cum in self.cumulative():
+            if cum >= target:
+                if bound == float("inf"):
+                    # Observations beyond the largest finite bucket: the
+                    # histogram cannot resolve further, report the bound.
+                    return self.buckets[-1]
+                span = cum - previous_cum
+                if span <= 0:
+                    return bound
+                fraction = (target - previous_cum) / span
+                return previous_bound + (bound - previous_bound) * fraction
+            previous_bound, previous_cum = bound, cum
+        return self.buckets[-1]
+
+    def as_dict(self) -> Dict[str, Any]:
+        data = super().as_dict()
+        data["buckets"] = [
+            [bound, cum]
+            for bound, cum in self.cumulative()
+            if bound != float("inf")
+        ]
+        data["sum"] = self.sum
+        data["count"] = self.count
+        for q in DERIVED_QUANTILES:
+            data[f"p{int(q * 100)}"] = self.quantile(q)
+        return data
+
+
+class _NullInstrument:
+    """Shared no-op instrument a disabled registry hands out."""
+
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+# ----------------------------------------------------------------------
+# The registry.
+# ----------------------------------------------------------------------
+class TelemetryRegistry:
+    """Wall-clock metric registry with Prometheus-compatible snapshots.
+
+    Disabled registries (``enabled=False``) return shared null instruments
+    and produce empty snapshots — the emission sites in the service cost
+    one attribute access and nothing else.
+    """
+
+    def __init__(
+        self, enabled: bool = True, clock: Callable[[], float] = time.time
+    ) -> None:
+        self.enabled = enabled
+        self._clock = clock
+        self._instruments: Dict[Tuple[str, str, LabelItems], WallInstrument] = {}
+        self.started_at = clock() if enabled else 0.0
+
+    # -- instrument factories -------------------------------------------
+    def _get(self, cls, name: str, help_text: str, labels: Dict[str, str], **kw):
+        if not self.enabled:
+            return _NULL_INSTRUMENT
+        items = _label_items(labels)
+        key = (cls.kind, name, items)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, items, help_text, **kw)
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, help_text: str = "", **labels: str):
+        return self._get(WallCounter, name, help_text, labels)
+
+    def gauge(self, name: str, help_text: str = "", **labels: str):
+        return self._get(WallGauge, name, help_text, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ):
+        return self._get(
+            WallHistogram, name, help_text, labels, buckets=buckets
+        )
+
+    # -- reading --------------------------------------------------------
+    def instruments(self) -> List[WallInstrument]:
+        """Every instrument, sorted by (kind, name, labels) — stable."""
+        return [self._instruments[key] for key in sorted(self._instruments)]
+
+    def snapshot(
+        self, extra: Optional[Dict[str, Any]] = None, final: bool = False
+    ) -> Dict[str, Any]:
+        """One JSONL snapshot record of the registry's current state."""
+        now = self._clock() if self.enabled else 0.0
+        record: Dict[str, Any] = {
+            "record": "telemetry_snapshot",
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "at": now,
+            "uptime_seconds": (now - self.started_at) if self.enabled else 0.0,
+            "final": final,
+            "counters": [],
+            "gauges": [],
+            "histograms": [],
+        }
+        for instrument in self.instruments():
+            record[instrument.kind + "s"].append(instrument.as_dict())
+        if extra:
+            for key, value in extra.items():
+                record[key] = value
+        return record
+
+
+# ----------------------------------------------------------------------
+# Snapshot validation (tests + the CI service job).
+# ----------------------------------------------------------------------
+_SNAPSHOT_REQUIRED = (
+    "record",
+    "schema_version",
+    "at",
+    "counters",
+    "gauges",
+    "histograms",
+)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_snapshot(record: Any) -> List[str]:
+    """Problems with one snapshot record; empty list means valid."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return ["snapshot: not a JSON object"]
+    for key in _SNAPSHOT_REQUIRED:
+        if key not in record:
+            problems.append(f"snapshot: missing {key!r}")
+    if record.get("record") != "telemetry_snapshot":
+        problems.append(
+            f"snapshot: record type {record.get('record')!r} != "
+            "'telemetry_snapshot'"
+        )
+    if record.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
+        problems.append(
+            f"snapshot: schema_version {record.get('schema_version')!r} != "
+            f"{TELEMETRY_SCHEMA_VERSION}"
+        )
+    for section in ("counters", "gauges", "histograms"):
+        entries = record.get(section)
+        if not isinstance(entries, list):
+            problems.append(f"snapshot: {section!r} must be a list")
+            continue
+        for index, entry in enumerate(entries):
+            prefix = f"{section}[{index}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{prefix}: not an object")
+                continue
+            name = entry.get("name")
+            if not isinstance(name, str) or not METRIC_NAME_RE.match(name):
+                problems.append(f"{prefix}: invalid metric name {name!r}")
+            if section in ("counters", "gauges"):
+                if not _is_number(entry.get("value")):
+                    problems.append(f"{prefix}: 'value' must be a number")
+                continue
+            buckets = entry.get("buckets")
+            if not isinstance(buckets, list) or not buckets:
+                problems.append(f"{prefix}: 'buckets' must be a non-empty list")
+                continue
+            previous_bound, previous_cum = float("-inf"), -1
+            ok = True
+            for pair in buckets:
+                if (
+                    not isinstance(pair, list)
+                    or len(pair) != 2
+                    or not _is_number(pair[0])
+                    or not _is_number(pair[1])
+                ):
+                    problems.append(f"{prefix}: malformed bucket {pair!r}")
+                    ok = False
+                    break
+                bound, cum = pair
+                if bound <= previous_bound:
+                    problems.append(f"{prefix}: bucket bounds not increasing")
+                    ok = False
+                    break
+                if cum < previous_cum:
+                    problems.append(f"{prefix}: bucket counts not cumulative")
+                    ok = False
+                    break
+                previous_bound, previous_cum = bound, cum
+            if ok:
+                count = entry.get("count")
+                if not _is_number(count):
+                    problems.append(f"{prefix}: 'count' must be a number")
+                elif buckets and count < buckets[-1][1]:
+                    problems.append(
+                        f"{prefix}: count {count} < last cumulative bucket "
+                        f"{buckets[-1][1]}"
+                    )
+                if not _is_number(entry.get("sum")):
+                    problems.append(f"{prefix}: 'sum' must be a number")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (version 0.0.4).
+# ----------------------------------------------------------------------
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _sample(name: str, labels: Dict[str, str], value: float) -> str:
+    if labels:
+        inner = ",".join(
+            f'{k}="{v}"' for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{inner}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def prometheus_exposition(snapshot: Dict[str, Any]) -> str:
+    """Render a snapshot record as Prometheus text exposition format.
+
+    Working from the snapshot (not the live registry) means the same code
+    path serves live scrapes and the offline ``repro-service metrics``
+    command replaying a persisted snapshot.
+    """
+    lines: List[str] = []
+    typed: set = set()
+
+    def _header(name: str, kind: str, help_text: str) -> None:
+        if name in typed:
+            return
+        typed.add(name)
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", []):
+        _header(entry["name"], "counter", entry.get("help", ""))
+        lines.append(_sample(entry["name"], entry.get("labels", {}), entry["value"]))
+    for entry in snapshot.get("gauges", []):
+        _header(entry["name"], "gauge", entry.get("help", ""))
+        lines.append(_sample(entry["name"], entry.get("labels", {}), entry["value"]))
+    for entry in snapshot.get("histograms", []):
+        name = entry["name"]
+        labels = entry.get("labels", {})
+        _header(name, "histogram", entry.get("help", ""))
+        cumulative = 0
+        for bound, cum in entry.get("buckets", []):
+            cumulative = cum
+            lines.append(
+                _sample(
+                    name + "_bucket",
+                    {**labels, "le": _format_value(bound)},
+                    cum,
+                )
+            )
+        count = entry.get("count", cumulative)
+        lines.append(
+            _sample(name + "_bucket", {**labels, "le": "+Inf"}, count)
+        )
+        lines.append(_sample(name + "_sum", labels, entry.get("sum", 0.0)))
+        lines.append(_sample(name + "_count", labels, count))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_PAIR_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$')
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Problems with Prometheus exposition text; empty list means valid."""
+    problems: List[str] = []
+    declared: Dict[str, str] = {}
+    histogram_buckets: Dict[str, List[Tuple[float, float]]] = {}
+    histogram_counts: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            if parts[2] in declared:
+                problems.append(
+                    f"line {lineno}: duplicate TYPE for {parts[2]!r}"
+                )
+            declared[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            problems.append(f"line {lineno}: unknown comment directive")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparseable sample line")
+            continue
+        name = match.group("name")
+        labels: Dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in raw_labels.split(","):
+                pair_match = _LABEL_PAIR_RE.match(pair.strip())
+                if not pair_match:
+                    problems.append(
+                        f"line {lineno}: malformed label pair {pair!r}"
+                    )
+                    break
+                labels[pair_match.group(1)] = pair_match.group(2)
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value.replace("+Inf", "inf"))
+        except ValueError:
+            problems.append(f"line {lineno}: non-numeric value {raw_value!r}")
+            continue
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                base = name[: -len(suffix)]
+                break
+        if base not in declared:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no preceding TYPE"
+            )
+            continue
+        if declared[base] == "histogram":
+            series = base + "|" + ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items()) if k != "le"
+            )
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without 'le'"
+                    )
+                    continue
+                bound = float(labels["le"].replace("+Inf", "inf"))
+                histogram_buckets.setdefault(series, []).append((bound, value))
+            elif name.endswith("_count"):
+                histogram_counts[series] = value
+    for series, buckets in histogram_buckets.items():
+        bounds = [b for b, _ in buckets]
+        if bounds != sorted(bounds):
+            problems.append(f"histogram {series}: 'le' bounds out of order")
+        counts = [c for _, c in buckets]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            problems.append(f"histogram {series}: buckets not cumulative")
+        if bounds and bounds[-1] != float("inf"):
+            problems.append(f"histogram {series}: missing '+Inf' bucket")
+        declared_count = histogram_counts.get(series)
+        if (
+            declared_count is not None
+            and counts
+            and abs(declared_count - counts[-1]) > 0
+        ):
+            problems.append(
+                f"histogram {series}: _count {declared_count} != +Inf bucket "
+                f"{counts[-1]}"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Wall spans: the cross-process job lifecycle stream.
+# ----------------------------------------------------------------------
+@dataclass
+class WallSpan:
+    """One wall-clock lifecycle span of a traced service job.
+
+    ``start``/``end`` are epoch seconds (``time.time``) — the one clock
+    every process on the host shares, which is what lets a worker's
+    ``simulate`` span land inside the parent's ``worker`` span without any
+    cross-process clock negotiation.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str]
+    name: str
+    start: float
+    end: float
+    os_pid: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "record": "wall_span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "os_pid": self.os_pid,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "WallSpan":
+        return cls(
+            trace_id=record["trace_id"],
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            name=record["name"],
+            start=record["start"],
+            end=record["end"],
+            os_pid=record.get("os_pid", 0),
+            attrs=dict(record.get("attrs", {})),
+        )
+
+
+class SpanRecorder:
+    """Collects :class:`WallSpan` records for one process.
+
+    Span ids are ``<trace_id>/p<os_pid>.<seq>`` — unique across the
+    parent and every worker without coordination.  Disabled recorders
+    swallow everything.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.time,
+        os_pid: Optional[int] = None,
+    ) -> None:
+        import os
+
+        self.enabled = enabled
+        self._clock = clock
+        self.os_pid = os_pid if os_pid is not None else os.getpid()
+        self.spans: List[WallSpan] = []
+        self._seq = 0
+
+    def _next_id(self, trace_id: str) -> str:
+        self._seq += 1
+        return f"{trace_id}/p{self.os_pid}.{self._seq}"
+
+    def record(
+        self,
+        trace_id: str,
+        name: str,
+        start: float,
+        end: float,
+        parent_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Optional[WallSpan]:
+        """Append one explicit span (times supplied by the caller)."""
+        if not self.enabled:
+            return None
+        span = WallSpan(
+            trace_id=trace_id,
+            span_id=span_id if span_id is not None else self._next_id(trace_id),
+            parent_id=parent_id,
+            name=name,
+            start=start,
+            end=end,
+            os_pid=self.os_pid,
+            attrs=attrs,
+        )
+        self.spans.append(span)
+        return span
+
+    def mark(
+        self,
+        trace_id: str,
+        name: str,
+        parent_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Optional[WallSpan]:
+        """Append an instant (zero-duration) span at the current time."""
+        if not self.enabled:
+            return None
+        now = self._clock()
+        return self.record(trace_id, name, now, now, parent_id, **attrs)
+
+    @contextmanager
+    def span(
+        self,
+        trace_id: str,
+        name: str,
+        parent_id: Optional[str] = None,
+        span_id: Optional[str] = None,
+        **attrs: Any,
+    ) -> Iterator[Dict[str, Any]]:
+        """Time a block; yields the attrs dict so callers can annotate."""
+        if not self.enabled:
+            yield {}
+            return
+        start = self._clock()
+        live_attrs: Dict[str, Any] = dict(attrs)
+        try:
+            yield live_attrs
+        finally:
+            self.record(
+                trace_id,
+                name,
+                start,
+                self._clock(),
+                parent_id,
+                span_id=span_id,
+                **live_attrs,
+            )
+
+    def extend(self, records: Sequence[Dict[str, Any]]) -> None:
+        """Stitch spans recorded in another process (JSON records) in."""
+        if not self.enabled:
+            return
+        for record in records:
+            self.spans.append(WallSpan.from_record(record))
+
+    def by_trace(self) -> Dict[str, List[WallSpan]]:
+        """``trace_id -> spans`` (each list in recording order)."""
+        grouped: Dict[str, List[WallSpan]] = {}
+        for span in self.spans:
+            grouped.setdefault(span.trace_id, []).append(span)
+        return grouped
+
+
+# ----------------------------------------------------------------------
+# Stitched Chrome trace: wall-time service spans over virtual-time runs.
+# ----------------------------------------------------------------------
+def _sim_tid(component: str, rank: int) -> int:
+    """Thread id of a simulated (component, rank) track (service trace)."""
+    if component == "writer":
+        base = 0
+    elif component == "reader":
+        base = READER_TID_OFFSET
+    else:
+        base = READER_TID_OFFSET * 2
+    # +1 keeps every simulated track clear of the wall-time service track.
+    return base + rank + 1
+
+
+def _metadata(pid: int, tid: int, name: str, value: Any) -> Dict[str, Any]:
+    key = "name" if name.endswith("_name") else "sort_index"
+    return {
+        "name": name,
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": tid,
+        "args": {key: value},
+    }
+
+
+def service_chrome_trace(
+    job_traces: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """One Chrome trace document for a traced service run.
+
+    *job_traces* carries one entry per traced job::
+
+        {"trace_id": ..., "label": "job-0000-... micro-2k@8",
+         "wall_spans": [<WallSpan record>, ...],
+         "sim_runs": [{"run_id": ..., "makespan": ...,
+                       "start": <epoch>, "end": <epoch>,
+                       "spans": [<repro.obs.export.span_records row>, ...]},
+                      ...]}
+
+    Each job becomes one trace process: its wall-time lifecycle spans
+    (submit → queue-wait → worker → result) render on the ``service``
+    thread, and each simulated run's virtual-time spans are linearly
+    rescaled into the run's measured wall window — so the simulation
+    flamegraph nests *under* the ``simulate`` span that produced it, on
+    one coherent wall-clock timeline.  Every event carries its
+    ``trace_id`` in ``args``, which is what links spans recorded in
+    different processes.
+    """
+    events: List[Dict[str, Any]] = []
+    traced_jobs: List[Dict[str, Any]] = []
+    starts = [
+        span["start"]
+        for trace in job_traces
+        for span in trace.get("wall_spans", [])
+    ]
+    t0 = min(starts) if starts else 0.0
+
+    def _us(epoch: float) -> float:
+        return max(0.0, (epoch - t0) / MICROSECOND)
+
+    for index, trace in enumerate(sorted(
+        job_traces, key=lambda item: item.get("trace_id", "")
+    )):
+        pid = index + 1
+        trace_id = trace.get("trace_id", "")
+        events.append(
+            _metadata(pid, 0, "process_name", trace.get("label", trace_id))
+        )
+        events.append(_metadata(pid, 0, "process_sort_index", index))
+        events.append(_metadata(pid, SERVICE_TID, "thread_name", "service"))
+        events.append(
+            _metadata(pid, SERVICE_TID, "thread_sort_index", SERVICE_TID)
+        )
+        wall_spans = trace.get("wall_spans", [])
+        for record in wall_spans:
+            events.append(
+                {
+                    "name": record["name"],
+                    "cat": "service",
+                    "ph": "X",
+                    "ts": _us(record["start"]),
+                    "dur": max(0.0, record["end"] - record["start"])
+                    / MICROSECOND,
+                    "pid": pid,
+                    "tid": SERVICE_TID,
+                    "args": {
+                        "trace_id": trace_id,
+                        "span_id": record["span_id"],
+                        "parent_id": record.get("parent_id"),
+                        "os_pid": record.get("os_pid", 0),
+                        **record.get("attrs", {}),
+                    },
+                }
+            )
+        named_tids = {SERVICE_TID}
+        sim_spans_total = 0
+        for run in trace.get("sim_runs", []):
+            window_start = run["start"]
+            window = max(0.0, run["end"] - run["start"])
+            makespan = max(float(run.get("makespan") or 0.0), 1e-12)
+            scale = window / makespan
+            for span in run.get("spans", []):
+                if span.get("category") in ("run", "rank"):
+                    continue
+                tid = _sim_tid(span.get("component", ""), span.get("rank", 0))
+                if tid not in named_tids:
+                    named_tids.add(tid)
+                    events.append(
+                        _metadata(
+                            pid,
+                            tid,
+                            "thread_name",
+                            f"sim {span.get('component', '?')} "
+                            f"{span.get('rank', 0)}",
+                        )
+                    )
+                    events.append(_metadata(pid, tid, "thread_sort_index", tid))
+                events.append(
+                    {
+                        "name": span["name"],
+                        "cat": "sim-" + span.get("category", "phase"),
+                        "ph": "X",
+                        "ts": _us(window_start + span["start"] * scale),
+                        "dur": max(0.0, span.get("duration", 0.0)) * scale
+                        / MICROSECOND,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": {
+                            "trace_id": trace_id,
+                            "run_id": run.get("run_id"),
+                            "virtual_start": span["start"],
+                            "virtual_end": span["end"],
+                            "iteration": span.get("iteration", -1),
+                        },
+                    }
+                )
+                sim_spans_total += 1
+        traced_jobs.append(
+            {
+                "pid": pid,
+                "trace_id": trace_id,
+                "label": trace.get("label", trace_id),
+                "wall_spans": len(wall_spans),
+                "sim_runs": len(trace.get("sim_runs", [])),
+                "sim_spans": sim_spans_total,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "repro": {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "runs": [],
+            "service": {
+                "epoch_origin": t0,
+                "jobs": traced_jobs,
+            },
+        },
+    }

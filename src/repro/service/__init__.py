@@ -18,8 +18,13 @@ service (the shape Balsam gives HPC workflow campaigns):
   through :class:`repro.core.recommend.RecommendationEngine`
   (predicted-best-first ordering) and recording outcomes + regret into a
   campaign store;
-* ``python -m repro.service`` — the ``submit | run | status | drain |
-  cache`` command line (:mod:`repro.service.cli`).
+* :mod:`repro.service.telemetry` — the **live telemetry plane**: queue /
+  pool / scheduler observers feeding wall-clock metrics (depth, rates,
+  utilization, latency histograms), per-job lifecycle spans stitched
+  across worker processes, JSONL snapshots, Prometheus exposition, and
+  the combined wall-time/virtual-time Chrome trace;
+* ``python -m repro.service`` — the ``submit | run | status | metrics |
+  drain | cache`` command line (:mod:`repro.service.cli`).
 
 The host-side concurrency lives *only* here and in :mod:`repro.runtime`
 (enforced by simlint rule SIM110); the simulator each worker drives stays
@@ -40,6 +45,7 @@ from repro.service.queue import (
     STATE_RUNNING,
 )
 from repro.service.scheduler import ServiceRunReport, ServiceScheduler
+from repro.service.telemetry import ServiceTelemetry
 
 __all__ = [
     "CacheStats",
@@ -53,6 +59,7 @@ __all__ = [
     "STATE_RUNNING",
     "ServiceRunReport",
     "ServiceScheduler",
+    "ServiceTelemetry",
     "TaskOutcome",
     "TaskSpec",
     "WorkerPool",

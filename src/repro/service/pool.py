@@ -87,11 +87,33 @@ class WorkerPool:
     :mod:`repro.service.tasks`.
     """
 
-    def __init__(self, task_fn: Callable[[Dict[str, Any]], Any], jobs: int = 1):
+    def __init__(
+        self,
+        task_fn: Callable[[Dict[str, Any]], Any],
+        jobs: int = 1,
+        observer: Any = None,
+    ):
+        """*observer* (optional) is the telemetry hook: it gets
+        ``task_started(task_id)`` at dispatch, ``task_settled(outcome)``
+        as each task settles, and ``pool_rebuilt(reason)`` when a crash or
+        timeout forces a fresh executor.  It never changes scheduling."""
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.task_fn = task_fn
         self.jobs = jobs
+        self.observer = observer
+
+    def _observe_started(self, task_id: str) -> None:
+        if self.observer is not None:
+            self.observer.task_started(task_id)
+
+    def _observe_settled(self, outcome: TaskOutcome) -> None:
+        if self.observer is not None:
+            self.observer.task_settled(outcome)
+
+    def _observe_rebuilt(self, reason: str) -> None:
+        if self.observer is not None:
+            self.observer.pool_rebuilt(reason)
 
     # ------------------------------------------------------------------
     def run(
@@ -125,6 +147,7 @@ class WorkerPool:
             if stopping:
                 outcome = TaskOutcome(spec.task_id, STATUS_SKIPPED)
             else:
+                self._observe_started(spec.task_id)
                 started = time.perf_counter()
                 try:
                     result = self.task_fn(spec.payload)
@@ -142,6 +165,7 @@ class WorkerPool:
                         wall_seconds=time.perf_counter() - started,
                     )
             outcomes.append(outcome)
+            self._observe_settled(outcome)
             if on_outcome is not None:
                 on_outcome(outcome)
         return outcomes
@@ -162,13 +186,15 @@ class WorkerPool:
 
         def settle(outcome: TaskOutcome) -> None:
             settled[outcome.task_id] = outcome
+            self._observe_settled(outcome)
             if on_outcome is not None:
                 on_outcome(outcome)
 
-        def rebuild() -> None:
+        def rebuild(reason: str) -> None:
             nonlocal executor
             executor.shutdown(wait=False, cancel_futures=True)
             executor = ProcessPoolExecutor(max_workers=self.jobs)
+            self._observe_rebuilt(reason)
 
         try:
             while pending or in_flight:
@@ -180,6 +206,7 @@ class WorkerPool:
                     pending = []
                 while pending and not stopping and len(in_flight) < self.jobs:
                     spec = pending.pop(0)
+                    self._observe_started(spec.task_id)
                     future = executor.submit(self.task_fn, spec.payload)
                     in_flight[future] = (spec, time.perf_counter())
                 if not in_flight:
@@ -236,7 +263,7 @@ class WorkerPool:
                             )
                         )
                     in_flight = {}
-                    rebuild()
+                    rebuild("crash")
                     continue
                 # Timeout sweep: report overdue tasks, rebuild the executor
                 # (one task cannot be killed), and resubmit the innocent.
@@ -263,7 +290,7 @@ class WorkerPool:
                         )
                     innocents = [spec for spec, _ in in_flight.values()]
                     in_flight = {}
-                    rebuild()
+                    rebuild("timeout")
                     pending = innocents + pending
         finally:
             executor.shutdown(wait=False, cancel_futures=True)

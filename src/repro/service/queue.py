@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional
 
@@ -75,6 +76,11 @@ class Job:
     submitted_seq: int = 0
     detail: Any = None
     cell_id: Optional[str] = None
+    #: Wall-clock epochs replayed from the log (None on pre-timestamp
+    #: records).  Host-side observability only — never hashed or compared.
+    submitted_at: Optional[float] = None
+    state_at: Optional[float] = None
+    running_since: Optional[float] = None
 
     @property
     def retries_left(self) -> int:
@@ -98,6 +104,7 @@ class Job:
             "deadline_epoch": self.deadline_epoch,
             "submitted_seq": self.submitted_seq,
             "cell_id": self.cell_id,
+            "submitted_at": self.submitted_at,
         }
 
 
@@ -180,8 +187,13 @@ class JobQueue:
     writers, the *workers* are the parallel part.
     """
 
-    def __init__(self, root: str = DEFAULT_SERVICE_DIR) -> None:
+    def __init__(self, root: str = DEFAULT_SERVICE_DIR, observer: Any = None):
+        """*observer* (optional) gets ``job_submitted(job)`` /
+        ``job_transition(job, state, detail)`` calls — the telemetry hook.
+        It never influences what is written: queue bytes are identical
+        with or without one attached."""
         self.root = root
+        self.observer = observer
 
     # -- paths ----------------------------------------------------------
     @property
@@ -223,6 +235,7 @@ class JobQueue:
         import hashlib
 
         digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+        now = time.time()
         job = Job(
             job_id=f"job-{seq:04d}-{digest.hexdigest()[:8]}",
             kind=kind,
@@ -232,8 +245,12 @@ class JobQueue:
             deadline_epoch=deadline_epoch,
             submitted_seq=seq,
             cell_id=cell_id,
+            submitted_at=now,
+            state_at=now,
         )
         self._append(job.as_record())
+        if self.observer is not None:
+            self.observer.job_submitted(job)
         return job
 
     def _transition(self, job: Job, state: str, detail: Any = None) -> Job:
@@ -242,6 +259,7 @@ class JobQueue:
                 f"job {job.job_id} is already {job.state}; "
                 "terminal states are final (submit a new job to re-run)"
             )
+        now = time.time()
         self._append(
             {
                 "record": "transition",
@@ -250,10 +268,15 @@ class JobQueue:
                 "state": state,
                 "attempts": job.attempts,
                 "detail": detail,
+                "at": now,
             }
         )
         job.state = state
         job.detail = detail
+        job.state_at = now
+        job.running_since = now if state == STATE_RUNNING else None
+        if self.observer is not None:
+            self.observer.job_transition(job, state, detail)
         return job
 
     def claim(self, job: Job, detail: Any = None) -> Job:
@@ -348,6 +371,8 @@ class JobQueue:
                         deadline_epoch=record.get("deadline_epoch"),
                         submitted_seq=record.get("submitted_seq", len(jobs)),
                         cell_id=record.get("cell_id"),
+                        submitted_at=record.get("submitted_at"),
+                        state_at=record.get("submitted_at"),
                     )
                     jobs[job.job_id] = job
                 elif kind == "transition":
@@ -360,6 +385,12 @@ class JobQueue:
                     job.state = record["state"]
                     job.attempts = record.get("attempts", job.attempts)
                     job.detail = record.get("detail")
+                    job.state_at = record.get("at", job.state_at)
+                    job.running_since = (
+                        record.get("at")
+                        if job.state == STATE_RUNNING
+                        else None
+                    )
                 else:
                     raise StorageError(
                         f"{self.path}: unknown record type {kind!r}"
@@ -375,6 +406,44 @@ class JobQueue:
         for job in self.load():
             counts[job.state] = counts.get(job.state, 0) + 1
         return counts
+
+    def stale_running(
+        self, now: Optional[float] = None
+    ) -> List[Dict[str, Any]]:
+        """The ``running`` jobs and how long each has been running.
+
+        With no live service pass these are crash leftovers — exactly what
+        ``requeue_stale`` will recover on the next start.  ``age_seconds``
+        is None for pre-timestamp log records (the age is unknowable).
+        """
+        reference = time.time() if now is None else now
+        stale = []
+        for job in self.load():
+            if job.state != STATE_RUNNING:
+                continue
+            stale.append(
+                {
+                    "job_id": job.job_id,
+                    "attempts": job.attempts,
+                    "age_seconds": (
+                        reference - job.running_since
+                        if job.running_since is not None
+                        else None
+                    ),
+                }
+            )
+        return stale
+
+    def attempts_histogram(self) -> Dict[int, int]:
+        """``attempts -> number of jobs`` over every job in the log.
+
+        Sourced from replayed state, so it includes finished jobs: a bar
+        at attempts >= 2 is the operator's retry-pressure signal.
+        """
+        histogram: Dict[int, int] = {}
+        for job in self.load():
+            histogram[job.attempts] = histogram.get(job.attempts, 0) + 1
+        return dict(sorted(histogram.items()))
 
     def validate(self) -> List[str]:
         """Schema problems of the queue file (empty = valid)."""

@@ -50,6 +50,7 @@ from repro.service.tasks import (
     execute_cell_record,
     execute_experiment,
 )
+from repro.service.telemetry import ServiceTelemetry
 
 #: The campaign (under ``<root>/campaigns/``) service results accumulate in.
 RESULTS_CAMPAIGN = "results"
@@ -138,13 +139,21 @@ class ServiceScheduler:
         jobs: int = 1,
         cal: OptaneCalibration = DEFAULT_CALIBRATION,
         backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
+        telemetry: Optional[ServiceTelemetry] = None,
     ) -> None:
         self.root = root
         self.strategy = strategy
         self.jobs = jobs
         self.cal = cal
         self.backoff_seconds = backoff_seconds
-        self.queue = JobQueue(root)
+        # A disabled instance is the default: every hook below becomes a
+        # no-op and no telemetry file is ever created.
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else ServiceTelemetry(root, enabled=False)
+        )
+        self.queue = JobQueue(root, observer=self.telemetry)
         self.cache = ResultCache(root)
         self.store = CampaignStore(os.path.join(root, "campaigns"))
         self._engine = RecommendationEngine(strategy="hybrid", cal=cal) if (
@@ -341,12 +350,14 @@ class ServiceScheduler:
         t0 = time.perf_counter()
         report = ServiceRunReport(jobs=self.jobs, strategy=self.strategy)
         requeued = self.queue.requeue_stale()
+        self.telemetry.stale_requeued(len(requeued))
         if requeued:
             say(f"requeued {len(requeued)} stale running job(s)")
         now = time.time()
         for job in self.queue.queued():
             if job.deadline_epoch is not None and now > job.deadline_epoch:
                 self.queue.mark_failed(job, {"reason": "deadline expired"})
+                self.telemetry.deadline_expired(job)
                 report.expired += 1
                 report.failed += 1
                 say(f"{job.job_id}: deadline expired")
@@ -366,9 +377,11 @@ class ServiceScheduler:
             cached = self.cache.get(cell_id) if cell_id is not None else None
             if cached is None:
                 report.cache_misses += 1
+                self.telemetry.cache_miss(job)
                 misses.append(job)
                 continue
             report.cache_hits += 1
+            self.telemetry.cache_hit(job, cell_id)
             from repro.obs.hostmetrics import cached_host_metrics
 
             avoided = sum(
@@ -400,9 +413,14 @@ class ServiceScheduler:
 
         # Predicted-best-first: shortest estimated makespan runs first, so
         # the pool drains the quick cells while the long ones occupy slots.
-        misses.sort(key=self._predict_seconds)
+        predicted = {job.job_id: self._predict_seconds(job) for job in misses}
+        misses.sort(key=lambda job: predicted[job.job_id])
+        for order, job in enumerate(misses):
+            self.telemetry.schedule_decided(job, order, predicted[job.job_id])
 
-        pool = WorkerPool(execute_cell_record, jobs=self.jobs)
+        pool = WorkerPool(
+            execute_cell_record, jobs=self.jobs, observer=self.telemetry
+        )
         attempt_round = 0
         pending = misses
         while pending and not report.drained:
@@ -410,18 +428,23 @@ class ServiceScheduler:
                 report.drained = True
                 break
             if attempt_round:
-                time.sleep(
-                    self.backoff_seconds * (2 ** (attempt_round - 1))
-                )
+                delay = self.backoff_seconds * (2 ** (attempt_round - 1))
+                self.telemetry.backoff(delay, attempt_round)
+                time.sleep(delay)
             by_id: Dict[str, Job] = {}
             specs: List[TaskSpec] = []
             for job in pending:
                 self.queue.claim(job, {"round": attempt_round})
                 by_id[job.job_id] = job
+                context = self.telemetry.worker_dispatch(job)
                 specs.append(
                     TaskSpec(
                         task_id=job.job_id,
-                        payload=job.payload,
+                        payload=(
+                            {**job.payload, "_telemetry": context}
+                            if context is not None
+                            else job.payload
+                        ),
                         timeout_seconds=job.timeout_seconds,
                     )
                 )
@@ -431,6 +454,11 @@ class ServiceScheduler:
                 job = by_id[outcome.task_id]
                 if outcome.ok:
                     record = outcome.result
+                    # The worker's telemetry rides the result record but
+                    # must never reach the cache/store: pop it first.
+                    self.telemetry.absorb_worker_records(
+                        job, record.pop("telemetry", None)
+                    )
                     cell = StoredCell(
                         cell_id=record["cell_id"],
                         key=record["key"],
@@ -438,7 +466,8 @@ class ServiceScheduler:
                         host=record["host"],
                         provenance=record["provenance"],
                     )
-                    self.cache.put(cell)
+                    if self.cache.put(cell):
+                        self.telemetry.cache_stored(job, cell.cell_id)
                     completed.append(cell)
                     report.executed += 1
                     regret = self._regret_entry(job, cell.deterministic)
@@ -464,6 +493,7 @@ class ServiceScheduler:
                     )
                     if job.state == STATE_QUEUED:
                         report.retried += 1
+                        self.telemetry.retry_scheduled(job, outcome.status)
                         retry_jobs.append(job)
                         say(
                             f"{job.job_id}: {outcome.status}, retrying "
@@ -474,9 +504,18 @@ class ServiceScheduler:
                         say(f"{job.job_id}: failed ({outcome.status})")
             pending = retry_jobs
             attempt_round += 1
+            self.telemetry.round_finished()
+            self.telemetry.update_levels(
+                counts=self.queue.counts(),
+                report=report,
+                wall_seconds=time.perf_counter() - t0,
+            )
+            self.telemetry.write_snapshot(extra={"round": attempt_round})
 
         # Experiment jobs: pooled, retried, never cached.
-        exp_pool = WorkerPool(execute_experiment, jobs=self.jobs)
+        exp_pool = WorkerPool(
+            execute_experiment, jobs=self.jobs, observer=self.telemetry
+        )
         pending_exp = [] if report.drained else exp_jobs
         if report.drained and exp_jobs:
             report.skipped += len(exp_jobs)
@@ -517,12 +556,22 @@ class ServiceScheduler:
                     )
                     if job.state == STATE_QUEUED:
                         report.retried += 1
+                        self.telemetry.retry_scheduled(job, outcome.status)
                         retry_jobs.append(job)
                     else:
                         report.failed += 1
             pending_exp = retry_jobs
             attempt_round += 1
+            self.telemetry.round_finished()
 
         report.cells_appended = self._persist_cells(completed)
         report.wall_seconds = time.perf_counter() - t0
+        self.telemetry.update_levels(
+            counts=self.queue.counts(),
+            report=report,
+            wall_seconds=report.wall_seconds,
+        )
+        self.telemetry.write_snapshot(
+            extra={"report": report.as_record()}, final=True
+        )
         return report

@@ -97,17 +97,72 @@ def execute_cell_record(payload: Dict[str, Any]) -> Dict[str, Any]:
     This is the service worker's entry point: payload in, record out, both
     plain JSON, so the queue can persist the former and the scheduler can
     cache/store the latter without the worker and parent sharing objects.
+
+    A ``_telemetry`` key in the payload (``{"trace_id", "parent_id"}``,
+    merged in by the scheduler at dispatch — never stored in the queue)
+    switches on per-config tracing: each configuration's run is timed on
+    the wall clock and returned as a ``simulate`` span, together with the
+    run's virtual-time span records, under ``record["telemetry"]``.  The
+    parent pops that key before caching/storing, so the deterministic
+    record is byte-identical with tracing on or off.
     """
     from repro.obs.campaign import run_cell
 
-    cell = run_cell(**cell_kwargs_from_json(payload))
-    return {
+    context = payload.get("_telemetry")
+    kwargs = cell_kwargs_from_json(payload)
+    telemetry: Dict[str, Any] = {}
+    on_observation = None
+    if context:
+        import time
+
+        from repro.obs.export import span_records
+        from repro.obs.telemetry import SpanRecorder
+
+        recorder = SpanRecorder(enabled=True)
+        trace_id = context["trace_id"]
+        parent_id = context.get("parent_id")
+        sim_runs: list = []
+        window = {"mark": time.time()}
+
+        def on_observation(observation: Any) -> None:
+            now = time.time()
+            start = window["mark"]
+            window["mark"] = now
+            recorder.record(
+                trace_id,
+                "simulate",
+                start,
+                now,
+                parent_id=parent_id,
+                config=observation.manifest.config,
+                run_id=observation.run_id,
+            )
+            sim_runs.append(
+                {
+                    "run_id": observation.run_id,
+                    "makespan": observation.result.makespan,
+                    "start": start,
+                    "end": now,
+                    "spans": span_records([observation]),
+                }
+            )
+
+        telemetry = {"wall_spans": recorder.spans, "sim_runs": sim_runs}
+
+    cell = run_cell(on_observation=on_observation, **kwargs)
+    record = {
         "cell_id": cell.cell_id,
         "key": cell.key,
         "deterministic": cell.deterministic,
         "host": cell.host.as_record(),
         "provenance": cell.provenance,
     }
+    if context:
+        record["telemetry"] = {
+            "wall_spans": [span.as_record() for span in telemetry["wall_spans"]],
+            "sim_runs": telemetry["sim_runs"],
+        }
+    return record
 
 
 def execute_experiment_object(payload: Dict[str, Any]) -> Any:

@@ -278,6 +278,31 @@ class TestReport:
         assert "hit rate: 1/1" in text
         assert "P-LocR" in text
 
+    def test_memo_hit_rate_in_header_and_gtc_warning(self):
+        run = synthetic_run()
+        cell = run.cells[0]
+        cell.host.solver_memo_hits = 30.0
+        cell.host.solver_memo_misses = 10.0
+        for markdown in (True, False):
+            text = campaign_report(run, markdown=markdown)
+            assert "solver memo hit rate 75.0% (30/40)" in text
+            assert "Warning" not in text and "WARNING" not in text
+        # A GTC-class cell whose memo never hit gets called out loudly.
+        cell.key = "gtc-8@8"
+        cell.host.solver_memo_hits = 0.0
+        markdown_text = campaign_report(run, markdown=True)
+        assert "> **Warning:** gtc-8@8: solver memo hit rate is 0.0%" in (
+            markdown_text
+        )
+        terminal_text = campaign_report(run, markdown=False)
+        assert "WARNING: gtc-8@8: solver memo hit rate is 0.0%" in terminal_text
+
+    def test_memo_line_omitted_without_lookups(self):
+        # synthetic_run has no memo counters: the header stays clean.
+        assert "solver memo hit rate" not in campaign_report(
+            synthetic_run(), markdown=True
+        ).splitlines()[2]
+
 
 class TestCli:
     def run_cli(self, *argv):

@@ -56,18 +56,37 @@ def distill(raw: Dict) -> Dict[str, Dict[str, float]]:
         extra = bench.get("extra_info", {})
         entry: Dict[str, float] = {"median_wall_seconds": median}
         if extra:
-            events = float(extra.get("events_executed", 0.0))
-            entry["events_per_run"] = events
-            entry["events_per_second"] = events / median if median > 0 else 0.0
-            entry["solver_iterations_per_run"] = float(
-                extra.get("solver_iterations", 0.0)
-            )
-            entry["memo_hit_rate"] = float(extra.get("memo_hit_rate", 0.0))
-            entry["makespan"] = float(extra.get("makespan", 0.0))
-            entry["solver_classes"] = float(extra.get("solver_classes", 0.0))
-            entry["recomputes_coalesced"] = float(
-                extra.get("recomputes_coalesced", 0.0)
-            )
+            if "events_executed" in extra:
+                events = float(extra["events_executed"])
+                entry["events_per_run"] = events
+                entry["events_per_second"] = (
+                    events / median if median > 0 else 0.0
+                )
+            if "solver_iterations" in extra:
+                entry["solver_iterations_per_run"] = float(
+                    extra["solver_iterations"]
+                )
+            for known in (
+                "memo_hit_rate",
+                "makespan",
+                "solver_classes",
+                "recomputes_coalesced",
+            ):
+                if known in extra:
+                    entry[known] = float(extra[known])
+            # Any other numeric extra_info rides along verbatim, so suites
+            # with their own vocabulary (e.g. the service bench's
+            # jobs_per_second / latency quantiles) land in the baseline
+            # without this mapping growing a case per suite.  Only
+            # COUNTER_FIELDS are guarded exactly; the rest is recorded.
+            for key in sorted(extra):
+                if key in ("events_executed", "solver_iterations"):
+                    continue
+                value = extra[key]
+                if key not in entry and isinstance(value, (int, float)) and (
+                    not isinstance(value, bool)
+                ):
+                    entry[key] = float(value)
         out[bench["name"]] = entry
     return out
 
@@ -79,7 +98,7 @@ def load_json(path: str) -> Dict:
 
 def record(args: argparse.Namespace) -> int:
     benchmarks = distill(load_json(args.export))
-    baseline: Dict = {"bench": "simcore", "benchmarks": benchmarks}
+    baseline: Dict = {"bench": args.name, "benchmarks": benchmarks}
     previous: Optional[Dict] = None
     try:
         previous = load_json(args.out)
@@ -152,6 +171,11 @@ def main(argv=None) -> int:
     rec = sub.add_parser("record", help="distill an export into the baseline")
     rec.add_argument("export", help="pytest-benchmark JSON export")
     rec.add_argument("--out", default="BENCH_simcore.json")
+    rec.add_argument(
+        "--name",
+        default="simcore",
+        help="suite tag written to the baseline's 'bench' field",
+    )
     rec.set_defaults(func=record)
 
     cmp_ = sub.add_parser("compare", help="guard an export against the baseline")
