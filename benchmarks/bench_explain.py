@@ -1,0 +1,80 @@
+"""Benchmarks: the trace-analytics engine (not a paper artifact).
+
+``repro.obs.explain`` runs inside CI (over the committed micro
+baseline), inside ``campaign diff``, and inside every service pass that
+annotates regret entries — so the analytics themselves must stay cheap
+relative to the simulations they explain.  This file tracks the cost of
+a full explain pass (observe + critical path + buckets) on a mid-size
+workflow, and the pure-analysis cost of re-walking an already-captured
+trace, with a hard wall guard on the latter: blame attribution over one
+run's spans must finish in **well under a second**, or attaching it to
+every campaign cell at capture time stops being free.
+
+Work counters (spans, segments, bucket count) ride along as
+``extra_info`` so a wall-time move is attributable: more spans is a
+bigger workflow, more segments per span is an engine regression.
+"""
+
+import os
+
+from repro.apps.suite import build_workflow
+from repro.core.configs import SchedulerConfig
+from repro.obs.capture import observe_workflow
+from repro.obs.explain import (
+    critical_path,
+    explain_observation,
+    path_context,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+#: Wall budget for one pure-analysis pass over a captured trace.
+WALL_BUDGET_SECONDS = 0.5
+
+_SPEC = build_workflow("miniamr+matmult", ranks=16, iterations=4)
+_CONFIG = SchedulerConfig.from_label("P-LocR")
+
+
+def test_explain_full_pass(benchmark):
+    """Observe + explain: the cost a campaign cell pays per config."""
+    explanation = benchmark.pedantic(
+        lambda: explain_observation(observe_workflow(_SPEC, _CONFIG)),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert explanation.segments
+    benchmark.extra_info.update(
+        {
+            "segments": len(explanation.segments),
+            "buckets": len(explanation.buckets),
+        }
+    )
+
+
+def test_critical_path_walk_under_wall_budget(benchmark):
+    """Pure analysis on a pre-captured trace — the reusable hot path."""
+    observation = observe_workflow(_SPEC, _CONFIG)
+    spans = observation.spans()
+    makespan = observation.result.makespan
+    context = path_context(_CONFIG.label)
+    segments = benchmark.pedantic(
+        critical_path,
+        args=(spans, makespan, context),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    median = benchmark.stats.stats.median
+    assert median < WALL_BUDGET_SECONDS, (
+        f"critical-path walk took {median:.3f}s "
+        f"(budget {WALL_BUDGET_SECONDS:.1f}s)"
+    )
+    assert segments[0].start == 0.0
+    benchmark.extra_info.update(
+        {
+            "spans": len(spans),
+            "segments": len(segments),
+        }
+    )

@@ -36,8 +36,14 @@ bandwidth fell below the model ceiling — flows through this package:
 * :mod:`repro.obs.campaign` — the campaign runner over the paper suite,
   the regression diff engine (makespan drift, winner flips, paper-claim
   changes) and the markdown/terminal dashboards.
+* :mod:`repro.obs.explain` — the trace-analytics engine: critical-path
+  extraction through the span tree, blame attribution decomposing
+  makespan into compute/barrier/drain/pmem/remote/dram buckets per
+  resource and coupling, explainable campaign diffs ("flipped because
+  pmem drain on socket 1 grew 38%") and per-campaign bottleneck ranking.
 * ``python -m repro.obs`` — the ``export`` / ``summary`` / ``diff`` /
-  ``validate`` / ``campaign`` command line (:mod:`repro.obs.cli`).
+  ``validate`` / ``campaign`` / ``explain`` command line
+  (:mod:`repro.obs.cli`).
 """
 
 from repro.obs.campaign import (
@@ -52,6 +58,19 @@ from repro.obs.campaign import (
     run_cell,
 )
 from repro.obs.capture import Observation, capture_runs, observe_workflow
+from repro.obs.explain import (
+    BUCKETS,
+    PathSegment,
+    RunExplanation,
+    attribution_from_phases,
+    attribution_record,
+    campaign_bottlenecks,
+    critical_path,
+    explain_observation,
+    explain_report,
+    utilization_rows,
+    validate_explain_report,
+)
 from repro.obs.export import (
     chrome_trace,
     metrics_records,
@@ -85,6 +104,7 @@ from repro.obs.telemetry import (
 )
 
 __all__ = [
+    "BUCKETS",
     "CampaignDiff",
     "CampaignRun",
     "CampaignStore",
@@ -94,7 +114,9 @@ __all__ = [
     "HostMeter",
     "HostMetrics",
     "Observation",
+    "PathSegment",
     "ProbeRegistry",
+    "RunExplanation",
     "RunManifest",
     "SUITE_PRESETS",
     "Span",
@@ -104,16 +126,22 @@ __all__ = [
     "TelemetryRegistry",
     "WallSpan",
     "aggregate_host_metrics",
+    "attribution_from_phases",
+    "attribution_record",
     "bench_record",
     "build_manifest",
     "build_spans",
     "calibration_hash",
+    "campaign_bottlenecks",
     "campaign_from_store",
     "campaign_report",
+    "critical_path",
     "capture_runs",
     "chrome_trace",
     "diff_campaigns",
     "diff_report",
+    "explain_observation",
+    "explain_report",
     "hot_phase_report",
     "metrics_records",
     "mint_trace_id",
@@ -128,7 +156,9 @@ __all__ = [
     "to_json",
     "to_jsonl",
     "trace_makespans",
+    "utilization_rows",
     "validate_chrome_trace",
+    "validate_explain_report",
     "validate_exposition",
     "validate_snapshot",
 ]

@@ -142,6 +142,13 @@ class CellResult:
     def paper_hit(self) -> Optional[bool]:
         return self.deterministic.get("paper_hit")
 
+    @property
+    def bottleneck(self) -> Optional[Dict[str, Any]]:
+        """The winner config's attribution summary (None if unattributed)."""
+        from repro.obs.explain import cell_bottleneck
+
+        return cell_bottleneck(self.deterministic)
+
     def stored(self) -> StoredCell:
         return StoredCell(
             cell_id=self.cell_id,
@@ -171,10 +178,19 @@ class CampaignRun:
 
 
 def _config_payload(observation: Observation) -> Dict[str, Any]:
-    """The deterministic per-configuration slice of a cell payload."""
+    """The deterministic per-configuration slice of a cell payload.
+
+    Includes the compact critical-path attribution summary
+    (:func:`repro.obs.explain.attribution_record`) so stored campaigns
+    stay explainable after the full trace is gone — cell ids are hashed
+    from manifests alone, so the extra key never perturbs identity.
+    """
+    from repro.obs.explain import attribution_record, explain_observation
+
     result = observation.result
     probes = observation.probes
     return {
+        "attribution": attribution_record(explain_observation(observation)),
         "makespan": result.makespan,
         "writer_runtime": result.writer_runtime,
         "reader_runtime": result.reader_runtime,
@@ -613,6 +629,9 @@ class MakespanDrift:
     config: str
     before: float
     after: float
+    #: Attribution sentence for the bucket that moved most ("drain on
+    #: pmem[1] grew 38.2% (...)"); None when neither cell is attributed.
+    explanation: Optional[str] = None
 
     @property
     def relative(self) -> float:
@@ -625,6 +644,10 @@ class WinnerFlip:
     before: str
     after: str
     paper_best: Optional[str]
+    #: Why the flip happened, from the before-winner's attribution shift.
+    #: Always populated by :func:`diff_campaigns` (with an explicit
+    #: "no attribution recorded" fallback) so every flip gets a line.
+    explanation: str = "no attribution recorded for either campaign"
 
     @property
     def vs_paper(self) -> str:
@@ -689,6 +712,7 @@ class CampaignDiff:
                 f"!! {flip.key}: winner {flip.before} -> {flip.after} "
                 f"({flip.vs_paper})"
             )
+            lines.append(f"   why: {flip.explanation}")
         for change in self.claim_changes:
             direction = "regressed" if change.regressed else "recovered"
             lines.append(
@@ -701,6 +725,8 @@ class CampaignDiff:
                 f"{fmt_time(drift.before)} -> {fmt_time(drift.after)} "
                 f"({drift.relative:+.1%})"
             )
+            if drift.explanation:
+                lines.append(f"   why: {drift.explanation}")
         lines.append(
             f"{self.identical_cells} identical cell(s), "
             f"{self.regressions} regression(s)"
@@ -717,9 +743,15 @@ class CampaignDiff:
             "",
         ]
         if self.winner_flips:
-            lines += ["## Winner flips", "", "| cell | before | after | vs paper |", "|---|---|---|---|"]
             lines += [
-                f"| {flip.key} | {flip.before} | {flip.after} | {flip.vs_paper} |"
+                "## Winner flips",
+                "",
+                "| cell | before | after | vs paper | why |",
+                "|---|---|---|---|---|",
+            ]
+            lines += [
+                f"| {flip.key} | {flip.before} | {flip.after} "
+                f"| {flip.vs_paper} | {flip.explanation} |"
                 for flip in self.winner_flips
             ]
             lines.append("")
@@ -731,10 +763,16 @@ class CampaignDiff:
             ]
             lines.append("")
         if self.drifts:
-            lines += ["## Makespan drift", "", "| cell | config | before | after | drift |", "|---|---|---|---|---|"]
+            lines += [
+                "## Makespan drift",
+                "",
+                "| cell | config | before | after | drift | why |",
+                "|---|---|---|---|---|---|",
+            ]
             lines += [
                 f"| {d.key} | {d.config} | {fmt_time(d.before)} "
-                f"| {fmt_time(d.after)} | {d.relative:+.1%} |"
+                f"| {fmt_time(d.after)} | {d.relative:+.1%} "
+                f"| {d.explanation or '-'} |"
                 for d in self.drifts
             ]
             lines.append("")
@@ -758,6 +796,8 @@ def diff_campaigns(
     change shows up as drift/flips on the same cells (plus a calibration
     note) rather than as wholesale removal + addition.
     """
+    from repro.obs.explain import drift_explanation, flip_explanation
+
     diff = CampaignDiff(name_a=a.name, name_b=b.name, threshold=threshold)
     cells_a = {cell.key: cell for cell in a.cells}
     cells_b = {cell.key: cell for cell in b.cells}
@@ -779,7 +819,13 @@ def diff_campaigns(
             if before > 0 and abs(after - before) / before > threshold:
                 diff.drifts.append(
                     MakespanDrift(
-                        key=key, config=label, before=before, after=after
+                        key=key,
+                        config=label,
+                        before=before,
+                        after=after,
+                        explanation=drift_explanation(
+                            configs_a[label], configs_b[label]
+                        ),
                     )
                 )
                 changed = True
@@ -790,6 +836,9 @@ def diff_campaigns(
                     before=cell_a.winner,
                     after=cell_b.winner,
                     paper_best=cell_b.paper_best,
+                    explanation=flip_explanation(
+                        cell_a.winner, cell_b.winner, configs_a, configs_b
+                    ),
                 )
             )
             changed = True

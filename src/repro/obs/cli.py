@@ -26,6 +26,14 @@ Examples::
     python -m repro.obs campaign diff micro-001 micro-002 --fail-on flips
     python -m repro.obs campaign report micro-001 --out report.md
     python -m repro.obs campaign validate micro-001
+
+    # Trace analytics: critical path + blame per run, campaign
+    # bottleneck ranking, attribution shifts between campaigns.
+    python -m repro.obs explain run --family gtc+matmult --config all \\
+        --segments --out explain.json
+    python -m repro.obs explain top baseline-micro
+    python -m repro.obs explain diff baseline-micro ci-run
+    python -m repro.obs explain validate explain.json
 """
 
 from __future__ import annotations
@@ -47,7 +55,7 @@ from repro.obs.export import (
     to_jsonl,
     validate_chrome_trace,
 )
-from repro.obs.report import diff_report, hot_phase_report
+from repro.obs.report import diff_report, hot_phase_report, utilization_report
 from repro.obs.store import DEFAULT_CAMPAIGN_DIR, CampaignStore
 from repro.pmem.calibration import DEFAULT_CALIBRATION, OptaneCalibration
 
@@ -123,6 +131,8 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_summary(args: argparse.Namespace) -> int:
     observations = _observe(args)
     print(hot_phase_report(observations))
+    print()
+    print(utilization_report(observations))
     return 0
 
 
@@ -260,6 +270,84 @@ def _cmd_campaign_validate(args: argparse.Namespace) -> int:
         else:
             print(f"{name}: OK")
     return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# Explain subcommands (trace analytics).
+# ----------------------------------------------------------------------
+def _cmd_explain_run(args: argparse.Namespace) -> int:
+    from repro.obs.explain import (
+        explain_observation,
+        explain_report,
+        validate_explain_report,
+    )
+
+    explanations = [explain_observation(obs) for obs in _observe(args)]
+    if args.format == "json":
+        document = explain_report(explanations)
+        problems = validate_explain_report(document)
+        if problems:  # pragma: no cover - invariant violation
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        payload = to_json(document)
+    elif args.format == "markdown":
+        payload = "\n".join(e.render_markdown() for e in explanations)
+    else:
+        payload = "\n".join(
+            e.render_text(segments=args.segments) for e in explanations
+        )
+    if args.out:
+        _write(args.out, payload if payload.endswith("\n") else payload + "\n")
+        print(f"wrote {args.out}: {len(explanations)} run(s)")
+    else:
+        print(payload)
+    return 0
+
+
+def _explain_cells(store: CampaignStore, name: str):
+    from repro.obs.campaign import campaign_from_store
+
+    return campaign_from_store(store.read(name)).cells
+
+
+def _cmd_explain_top(args: argparse.Namespace) -> int:
+    from repro.obs.explain import campaign_bottlenecks, render_top
+
+    store = CampaignStore(args.dir)
+    rows = campaign_bottlenecks(_explain_cells(store, args.name))
+    print(render_top(rows, markdown=args.markdown))
+    return 0
+
+
+def _cmd_explain_diff(args: argparse.Namespace) -> int:
+    from repro.obs.explain import diff_attribution_rows, render_diff_rows
+
+    store = CampaignStore(args.dir)
+    cells_a = {
+        cell.key: cell.deterministic.get("configs", {})
+        for cell in _explain_cells(store, args.campaign_a)
+    }
+    cells_b = {
+        cell.key: cell.deterministic.get("configs", {})
+        for cell in _explain_cells(store, args.campaign_b)
+    }
+    rows = diff_attribution_rows(cells_a, cells_b)
+    print(render_diff_rows(rows, markdown=args.markdown))
+    return 0
+
+
+def _cmd_explain_validate(args: argparse.Namespace) -> int:
+    from repro.obs.explain import validate_explain_report
+
+    problems = validate_explain_report(_load(args.report))
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{args.report}: INVALID ({len(problems)} problem(s))")
+        return 1
+    print(f"{args.report}: OK")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -432,6 +520,61 @@ def main(argv: Optional[List[str]] = None) -> int:
         "names", nargs="*", help="campaign names (default: every campaign)"
     )
     campaign_validate.set_defaults(func=_cmd_campaign_validate)
+
+    explain = commands.add_parser(
+        "explain",
+        help="trace analytics: critical paths, blame buckets, bottlenecks",
+    )
+    explain_commands = explain.add_subparsers(
+        dest="explain_command", required=True
+    )
+
+    explain_run = explain_commands.add_parser(
+        "run", help="run a workflow and explain where its makespan went"
+    )
+    _add_spec_arguments(explain_run)
+    explain_run.add_argument(
+        "--format",
+        choices=("text", "markdown", "json"),
+        default="text",
+        help="output renderer (default: text)",
+    )
+    explain_run.add_argument(
+        "--segments",
+        action="store_true",
+        help="also print the critical-path segment chain (text format)",
+    )
+    explain_run.add_argument(
+        "--out", default=None, help="write to this path instead of stdout"
+    )
+    explain_run.set_defaults(func=_cmd_explain_run)
+
+    explain_top = explain_commands.add_parser(
+        "top", help="rank a stored campaign's cells by winner bottleneck"
+    )
+    _add_dir(explain_top)
+    explain_top.add_argument("name")
+    explain_top.add_argument(
+        "--markdown", action="store_true", help="markdown instead of terminal"
+    )
+    explain_top.set_defaults(func=_cmd_explain_top)
+
+    explain_diff = explain_commands.add_parser(
+        "diff", help="attribution shifts between two stored campaigns"
+    )
+    _add_dir(explain_diff)
+    explain_diff.add_argument("campaign_a")
+    explain_diff.add_argument("campaign_b")
+    explain_diff.add_argument(
+        "--markdown", action="store_true", help="markdown instead of terminal"
+    )
+    explain_diff.set_defaults(func=_cmd_explain_diff)
+
+    explain_validate = explain_commands.add_parser(
+        "validate", help="schema-check an explain report file"
+    )
+    explain_validate.add_argument("report")
+    explain_validate.set_defaults(func=_cmd_explain_validate)
 
     args = parser.parse_args(argv)
     return args.func(args)

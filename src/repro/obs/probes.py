@@ -197,6 +197,50 @@ class Histogram(Instrument):
         return data
 
 
+def step_fraction_above(
+    samples: Iterable[Tuple[float, float]], horizon: float, threshold: float
+) -> float:
+    """Fraction of ``[0, horizon]`` a change-point series spends above *threshold*.
+
+    Gauge samples are ``(time, value)`` transitions recorded only on
+    change; the level before the first sample is 0.  This is the
+    utilization primitive: busy fraction is ``step_fraction_above(samples,
+    makespan, 0.0)``, contended fraction uses threshold 1.0.
+    """
+    if horizon <= 0:
+        return 0.0
+    above = 0.0
+    level = 0.0
+    previous = 0.0
+    for when, value in samples:
+        clamped = min(max(when, 0.0), horizon)
+        if level > threshold:
+            above += clamped - previous
+        previous = clamped
+        level = value
+    if level > threshold:
+        above += horizon - previous
+    return min(max(above / horizon, 0.0), 1.0)
+
+
+def step_time_weighted_mean(
+    samples: Iterable[Tuple[float, float]], horizon: float
+) -> float:
+    """Time-weighted mean level of a change-point series over ``[0, horizon]``."""
+    if horizon <= 0:
+        return 0.0
+    weighted = 0.0
+    level = 0.0
+    previous = 0.0
+    for when, value in samples:
+        clamped = min(max(when, 0.0), horizon)
+        weighted += level * (clamped - previous)
+        previous = clamped
+        level = value
+    weighted += level * (horizon - previous)
+    return weighted / horizon
+
+
 class _NullCounter(Counter):
     __slots__ = ()
 

@@ -69,6 +69,25 @@ def hot_phase_report(observations: Sequence[Observation]) -> str:
     return "\n".join(lines)
 
 
+def utilization_report(observations: Sequence[Observation]) -> str:
+    """Busy/wait/idle fractions per component and resource, per run.
+
+    The ``summary`` CLI's second table (the first is the hot-phase bar
+    chart); the same rows feed ``explain top``.  Component rows average
+    over ranks from the leaf spans; resource rows integrate the
+    ``resource.occupancy`` gauges over ``[0, makespan]``.
+    """
+    from repro.obs.explain import render_utilization, utilization_rows
+
+    if isinstance(observations, Observation):
+        observations = [observations]
+    lines: List[str] = []
+    for observation in observations:
+        lines.append(f"== {observation.run_id} — utilization ==")
+        lines.append(render_utilization(utilization_rows(observation)))
+    return "\n".join(lines)
+
+
 # ----------------------------------------------------------------------
 # Diffing exported traces.
 # ----------------------------------------------------------------------

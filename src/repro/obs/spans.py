@@ -20,7 +20,7 @@ set, so two identical runs build byte-identical span tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.trace import Tracer
 
@@ -156,3 +156,33 @@ def build_spans(
 def leaf_spans(spans: List[Span]) -> List[Span]:
     """The phase-level leaves of a span tree."""
     return [span for span in spans if span.category == "phase"]
+
+
+def leaf_tracks(spans: List[Span]) -> Dict[Tuple[str, int], List[Span]]:
+    """Leaf spans grouped per ``(component, rank)`` track, time-ordered.
+
+    The grouping the critical-path walker chains through: within a track
+    spans are sorted by ``(start, end, name)``, and the mapping iterates
+    tracks in sorted key order — both deterministic functions of the
+    trace contents.
+    """
+    tracks: Dict[Tuple[str, int], List[Span]] = {}
+    for span in leaf_spans(spans):
+        tracks.setdefault((span.component, span.rank), []).append(span)
+    return {
+        key: sorted(tracks[key], key=lambda s: (s.start, s.end, s.name))
+        for key in sorted(tracks)
+    }
+
+
+def last_finishing_leaf(spans: List[Span]) -> Optional[Span]:
+    """The leaf whose completion defines the makespan.
+
+    Ties on the end timestamp break toward the lexicographically largest
+    ``(component, rank)`` — in practice the highest reader rank, the
+    track whose finish the paper's makespan measurement observes.
+    """
+    leaves = leaf_spans(spans)
+    if not leaves:
+        return None
+    return max(leaves, key=lambda s: (s.end, s.component, s.rank))

@@ -179,6 +179,29 @@ def _snapshot_value(
     return None
 
 
+def _top_bottleneck(
+    snapshot: Optional[Dict[str, Any]], scheduler: ServiceScheduler
+) -> Optional[Dict[str, Any]]:
+    """The dashboard's top-bottleneck line: last explain pass, then store.
+
+    Prefers the ``bottleneck`` key of the latest telemetry snapshot (the
+    most dominated cell of the last service pass); when no snapshot
+    carries one — telemetry disabled, or written before explain existed —
+    falls back to ranking the results campaign's stored attributions.
+    """
+    if snapshot is not None and isinstance(snapshot.get("bottleneck"), dict):
+        return snapshot["bottleneck"]
+    if not scheduler.store.exists(RESULTS_CAMPAIGN):
+        return None
+    from repro.obs.campaign import campaign_from_store
+    from repro.obs.explain import campaign_bottlenecks
+
+    rows = campaign_bottlenecks(
+        campaign_from_store(scheduler.store.read(RESULTS_CAMPAIGN)).cells
+    )
+    return rows[0] if rows else None
+
+
 def _status_lines(args: argparse.Namespace) -> List[str]:
     """The operator view ``status`` prints (one frame of ``--watch``)."""
     queue = JobQueue(args.dir)
@@ -248,6 +271,12 @@ def _status_lines(args: argparse.Namespace) -> List[str]:
         tag = " (final)" if snapshot.get("final") else ""
         if parts:
             lines.append(f"telemetry{tag}: " + ", ".join(parts))
+    bottleneck = _top_bottleneck(snapshot, scheduler)
+    if bottleneck is not None:
+        lines.append(
+            f"top bottleneck: {bottleneck['key']} — {bottleneck['why']}"
+            f" (winner {bottleneck.get('winner', '?')})"
+        )
     lines.append(f"cache: {len(cache.list_ids())} entr(ies) under {cache.root}")
     lines.append(
         f"campaign {RESULTS_CAMPAIGN!r}: {campaign_cells} cell(s) under "
@@ -266,11 +295,15 @@ def _cmd_status(args: argparse.Namespace) -> int:
             if scheduler.store.exists(RESULTS_CAMPAIGN)
             else 0
         )
+        snapshot = _latest_snapshot(
+            os.path.join(args.dir, TELEMETRY_FILENAME)
+        )
         payload = {
             "record": "service_status",
             "counts": queue.counts(),
             "cache_entries": len(cache.list_ids()),
             "campaign_cells": campaign_cells,
+            "bottleneck": _top_bottleneck(snapshot, scheduler),
             "stale_running": queue.stale_running(),
             "attempts_histogram": {
                 str(attempts): count

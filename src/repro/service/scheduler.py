@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.recommend import RecommendationEngine
+from repro.obs.explain import cell_bottleneck
 from repro.obs.store import CampaignStore, StoredCell
 from repro.pmem.calibration import DEFAULT_CALIBRATION, OptaneCalibration
 from repro.service.cache import ResultCache, cell_id_for_spec
@@ -121,11 +122,14 @@ class ServiceRunReport:
             + (" (drained early)" if self.drained else "")
         )
         for entry in self.regrets:
-            lines.append(
+            line = (
                 f"  {entry['key']}: winner {entry['winner']}, "
                 f"recommended {entry['recommended']} "
                 f"(regret {entry['regret']:+.1%})"
             )
+            if entry.get("why"):
+                line += f" — bottleneck {entry['why']}"
+            lines.append(line)
         return "\n".join(lines)
 
 
@@ -309,12 +313,17 @@ class ServiceScheduler:
         chosen = makespans.get(recommended)
         if best is None or chosen is None or best <= 0:
             return None
-        return {
+        entry = {
             "key": f"{kwargs['family']}@{kwargs['ranks']}",
             "winner": winner,
             "recommended": recommended,
             "regret": chosen / best - 1.0,
         }
+        bottleneck = cell_bottleneck(deterministic)
+        if bottleneck is not None:
+            entry["bottleneck"] = bottleneck["dominant"]
+            entry["why"] = bottleneck["why"]
+        return entry
 
     def _persist_cells(self, cells: List[StoredCell]) -> int:
         """Append new cells — sorted by cell id — to the results campaign.
@@ -406,6 +415,9 @@ class ServiceScheduler:
             regret = self._regret_entry(job, cached.deterministic)
             if regret is not None:
                 report.regrets.append(regret)
+            bottleneck = cell_bottleneck(cached.deterministic)
+            if bottleneck is not None:
+                self.telemetry.note_bottleneck(key, bottleneck)
             self.queue.mark_done(
                 job, {"cache": "hit", "cell_id": cell_id, "regret": regret}
             )
@@ -473,6 +485,9 @@ class ServiceScheduler:
                     regret = self._regret_entry(job, cell.deterministic)
                     if regret is not None:
                         report.regrets.append(regret)
+                    bottleneck = cell_bottleneck(cell.deterministic)
+                    if bottleneck is not None:
+                        self.telemetry.note_bottleneck(cell.key, bottleneck)
                     self.queue.mark_done(
                         job,
                         {

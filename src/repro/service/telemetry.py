@@ -79,6 +79,10 @@ class ServiceTelemetry:
         #: trace_id -> virtual-time run windows stitched from workers.
         self._sim_runs: Dict[str, List[Dict[str, Any]]] = {}
         self._jobs_done = 0
+        #: Worst winner bottleneck seen this pass (largest dominant
+        #: fraction), surfaced as the snapshot's ``bottleneck`` key and
+        #: the status dashboard's top-bottleneck line.
+        self._bottleneck: Optional[Dict[str, Any]] = None
 
     # -- paths ----------------------------------------------------------
     @property
@@ -387,10 +391,28 @@ class ServiceTelemetry:
                 "Jobs reaching done per wall second this pass.",
             ).set(self._jobs_done / wall_seconds)
 
+    def note_bottleneck(self, key: str, bottleneck: Dict[str, Any]) -> None:
+        """Record one cell's winner bottleneck (the explain attribution).
+
+        The snapshot keeps whichever cell is most dominated by a single
+        bucket — the line the status dashboard leads with.
+        """
+        if not self.enabled:
+            return
+        fraction = float(bottleneck.get("fraction", 0.0))
+        if self._bottleneck is not None and fraction <= self._bottleneck.get(
+            "fraction", 0.0
+        ):
+            return
+        self._bottleneck = {"key": key, **bottleneck}
+
     # -- outputs ---------------------------------------------------------
     def snapshot(
         self, extra: Optional[Dict[str, Any]] = None, final: bool = False
     ) -> Dict[str, Any]:
+        if self._bottleneck is not None:
+            extra = dict(extra or {})
+            extra.setdefault("bottleneck", self._bottleneck)
         return self.registry.snapshot(extra=extra, final=final)
 
     def write_snapshot(

@@ -358,3 +358,62 @@ def test_service_chrome_trace_empty():
     assert validate_chrome_trace(document) == []
     assert document["traceEvents"] == []
     assert document["repro"]["service"]["jobs"] == []
+
+
+# ----------------------------------------------------------------------
+# Quantile edge cases: bucket boundaries, empty, single-sample.
+# ----------------------------------------------------------------------
+def test_histogram_quantile_at_exact_bucket_boundary():
+    histogram = WallHistogram("repro_latency_seconds", buckets=(1.0, 2.0, 4.0))
+    # An observation equal to a bound lands in that bucket (le semantics).
+    for value in (1.0, 2.0, 4.0, 4.0):
+        histogram.observe(value)
+    assert histogram.cumulative() == [
+        (1.0, 1),
+        (2.0, 2),
+        (4.0, 4),
+        (float("inf"), 4),
+    ]
+    # Target ranks that coincide with a cumulative count hit the bucket's
+    # upper bound exactly — no interpolation drift across the boundary.
+    assert histogram.quantile(0.25) == pytest.approx(1.0)
+    assert histogram.quantile(0.5) == pytest.approx(2.0)
+    assert histogram.quantile(1.0) == pytest.approx(4.0)
+    # Just past a boundary rank the estimate moves into the next bucket.
+    assert 2.0 < histogram.quantile(0.75) < 4.0
+
+
+def test_histogram_quantile_empty_is_zero_for_all_q():
+    histogram = WallHistogram("repro_latency_seconds", buckets=(1.0,))
+    for q in (0.0, 0.5, 0.95, 1.0):
+        assert histogram.quantile(q) == 0.0
+    data = histogram.as_dict()
+    assert data["count"] == 0
+    assert data["p99"] == 0.0
+
+
+def test_histogram_quantile_single_sample():
+    histogram = WallHistogram("repro_latency_seconds", buckets=(1.0, 2.0))
+    histogram.observe(1.5)
+    # One sample in (1.0, 2.0]: q=0 collapses to the empty first bucket's
+    # bound (the occupied bucket's lower edge), q in between interpolates
+    # linearly, and q=1 reaches the upper bound.
+    assert histogram.quantile(0.0) == pytest.approx(1.0)
+    assert histogram.quantile(0.5) == pytest.approx(1.5)
+    assert histogram.quantile(1.0) == pytest.approx(2.0)
+
+
+def test_histogram_quantile_single_sample_first_bucket():
+    histogram = WallHistogram("repro_latency_seconds", buckets=(1.0, 2.0))
+    histogram.observe(0.25)
+    # The first bucket interpolates from an implicit lower bound of 0.
+    assert histogram.quantile(0.5) == pytest.approx(0.5)
+    assert histogram.quantile(1.0) == pytest.approx(1.0)
+
+
+def test_histogram_quantile_zero_q_returns_lower_edge():
+    histogram = WallHistogram("repro_latency_seconds", buckets=(1.0, 2.0))
+    for value in (1.5, 1.6):
+        histogram.observe(value)
+    # q=0 targets rank 0: the first non-empty bucket's lower edge.
+    assert histogram.quantile(0.0) == pytest.approx(1.0)
