@@ -1,0 +1,79 @@
+"""Benchmarks: the global placement optimizer (not a paper artifact).
+
+``repro.core.optimize`` runs inside CI (``validate`` re-derives Table II
+every push) and is meant to be cheap enough to call per service pass —
+an optimizer that costs more than the simulations it plans is useless.
+This file tracks the analytic end-to-end cost on the full 18-workflow
+suite (price every candidate, solve the exact backend, enumerate the
+ε-frontier) with a hard wall guard: the whole decision layer must stay
+**well under a second** so only the optional simulation pricing ever
+dominates a planning call.
+
+Work counters (candidates, branch-and-bound nodes, frontier points)
+ride along as ``extra_info`` so a wall-time move is attributable: more
+nodes is a weaker bound, more candidates is a bigger decision space.
+"""
+
+import os
+
+from repro.core.optimize.backends import BranchBoundOptimizer
+from repro.core.optimize.cli import build_scenario
+from repro.core.optimize.pareto import enumerate_frontier
+from repro.units import GB
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+#: Wall budget for one full plan-and-frontier pass (analytic pricing).
+WALL_BUDGET_SECONDS = 0.5
+
+_SUITE_KEYS = [
+    f"{family}@{ranks}"
+    for family in (
+        "micro-64mb",
+        "micro-2k",
+        "gtc+readonly",
+        "gtc+matmult",
+        "miniamr+readonly",
+        "miniamr+matmult",
+    )
+    for ranks in (8, 16, 24)
+]
+
+
+def _full_pass():
+    scenario = build_scenario(
+        _SUITE_KEYS,
+        pricer_name="analytic",
+        allow_colocation=True,
+        allow_dram=True,
+        pmem_budget_bytes=int(300 * GB),
+    )
+    plan = BranchBoundOptimizer().solve(scenario)
+    points, _truncated = enumerate_frontier(scenario, epsilon=0.02)
+    return scenario, plan, points
+
+
+def test_optimize_full_pass_under_wall_budget(benchmark):
+    """Price + solve + frontier on the whole suite — the planning cost."""
+    scenario, plan, points = benchmark.pedantic(
+        _full_pass,
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    median = benchmark.stats.stats.median
+    assert median < WALL_BUDGET_SECONDS, (
+        f"optimizer full pass took {median:.3f}s "
+        f"(budget {WALL_BUDGET_SECONDS:.1f}s)"
+    )
+    assert plan.feasible
+    assert points
+    benchmark.extra_info.update(
+        {
+            "workflows": len(scenario.choices),
+            "candidates": sum(len(c.candidates) for c in scenario.choices),
+            "bb_nodes": plan.nodes_explored,
+            "frontier_points": len(points),
+        }
+    )

@@ -1,0 +1,64 @@
+"""Global placement optimizer: joint (placement, mode) choice over suites.
+
+Public surface:
+
+* :mod:`repro.core.optimize.model` — candidates, scenarios, limits;
+* :mod:`repro.core.optimize.pricing` — simulation/analytic pricers;
+* :mod:`repro.core.optimize.backends` — exact and flow optimizers, plans;
+* :mod:`repro.core.optimize.pareto` — ε-dominance frontier enumeration;
+* ``python -m repro.core.optimize`` — solve / pareto / validate / compare.
+"""
+
+from repro.core.optimize.backends import (
+    PLAN_SCHEMA,
+    BranchBoundOptimizer,
+    GreedyFlowOptimizer,
+    Optimizer,
+    Plan,
+    optimizer_by_name,
+)
+from repro.core.optimize.model import (
+    Candidate,
+    Scenario,
+    ScenarioLimits,
+    WorkflowChoices,
+    retained_pmem_bytes,
+)
+from repro.core.optimize.pareto import (
+    FRONTIER_SCHEMA,
+    FrontierPoint,
+    enumerate_frontier,
+    frontier_json,
+    frontier_payload,
+    pareto_filter,
+    validate_frontier,
+)
+from repro.core.optimize.pricing import (
+    AnalyticPricer,
+    SimulationPricer,
+    pricer_by_name,
+)
+
+__all__ = [
+    "PLAN_SCHEMA",
+    "FRONTIER_SCHEMA",
+    "AnalyticPricer",
+    "BranchBoundOptimizer",
+    "Candidate",
+    "FrontierPoint",
+    "GreedyFlowOptimizer",
+    "Optimizer",
+    "Plan",
+    "Scenario",
+    "ScenarioLimits",
+    "SimulationPricer",
+    "WorkflowChoices",
+    "enumerate_frontier",
+    "frontier_json",
+    "frontier_payload",
+    "optimizer_by_name",
+    "pareto_filter",
+    "pricer_by_name",
+    "retained_pmem_bytes",
+    "validate_frontier",
+]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.core.optimize``."""
+
+import sys
+
+from repro.core.optimize.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

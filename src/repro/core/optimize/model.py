@@ -1,0 +1,281 @@
+"""Decision model for the global placement optimizer.
+
+The heuristic recommenders answer "which Table I configuration for *this*
+workflow?".  The optimizer generalizes the question to a whole suite: per
+(workflow, component) it chooses a memory tier — DRAM, socket-local PMEM,
+or remote PMEM — and an execution mode, subject to the platform's capacity
+limits, and scores each joint choice on three additive objectives:
+
+* **makespan** — Σ of per-workflow makespans (workflows execute one at a
+  time; a campaign is a serial queue over the suite);
+* **PMEM footprint** — Σ of *retained* channel bytes.  Channels persist
+  for the campaign (the paper's App-Direct channels are named, durable
+  objects), so footprints add even though compute is time-shared.  Serial
+  execution retains the full stream; parallel streaming retains only a
+  two-snapshot producer/consumer window;
+* **remote traffic** — Σ of bytes that cross the UPI link (the placement
+  decision's interconnect cost; zero for colocated or DRAM-staged runs).
+
+Each workflow's choice set is a small candidate list: the four Table I
+configurations (components pinned to opposite sockets, channel local to
+one of them) plus — capacity permitting — colocated candidates (both
+components on one socket, channel local to both, zero remote traffic) and
+a DRAM-staged candidate.  Colocation needs ``2 x ranks`` cores on one
+socket, so it only exists at low concurrency; DRAM staging must fit the
+socket's DRAM.  That is exactly the {DRAM, PMEM-local, PMEM-remote} x
+{serial, parallel} decision space, encoded as the per-component
+``placements`` tuple on every candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.platform.topology import Node
+from repro.units import GB
+from repro.workflow.spec import WorkflowSpec
+
+#: Memory tiers a component's channel endpoint can live in.
+TIER_PMEM = "pmem"
+TIER_DRAM = "dram"
+
+#: Per-component placement labels (the raw decision-variable values).
+PLACE_PMEM_LOCAL = "pmem-local"
+PLACE_PMEM_REMOTE = "pmem-remote"
+PLACE_DRAM = "dram"
+
+#: Candidate keys, in deterministic enumeration order: the four Table I
+#: configurations first (paper row order), then the off-table candidates.
+CANDIDATE_ORDER: Tuple[str, ...] = (
+    "S-LocW",
+    "S-LocR",
+    "P-LocW",
+    "P-LocR",
+    "S-Coloc",
+    "P-Coloc",
+    "S-DRAM",
+)
+
+#: Six-channel DDR4-2666 per-socket stream bandwidth (same measurement
+#: literature the PMEM calibration quotes).  Module constants rather than
+#: :class:`~repro.pmem.calibration.OptaneCalibration` fields: the
+#: calibration fingerprint keys cache identity and must not change shape.
+DRAM_READ_BANDWIDTH: float = 105.0 * GB
+DRAM_WRITE_BANDWIDTH: float = 85.0 * GB
+
+#: Snapshots a parallel (streaming) channel retains: the producer's
+#: in-flight snapshot plus the consumer's in-read snapshot.
+PARALLEL_WINDOW_SNAPSHOTS = 2
+
+
+def candidate_sort_key(key: str) -> Tuple[int, str]:
+    """Deterministic candidate ordering: Table I order, then lexicographic."""
+    try:
+        return (CANDIDATE_ORDER.index(key), key)
+    except ValueError:
+        return (len(CANDIDATE_ORDER), key)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One joint (placement, mode) choice for one workflow, fully priced.
+
+    ``config_label`` is the Table I label when the candidate *is* a paper
+    configuration (simulatable); colocated and DRAM candidates have none.
+    ``price_source`` records whether ``makespan_seconds`` came from the
+    simulator or from the analytic relaxation — frontier consumers must
+    know which points carry measurement-grade prices.
+    """
+
+    key: str
+    mode: str  # "serial" | "parallel"
+    tier: str  # TIER_PMEM | TIER_DRAM
+    colocated: bool
+    config_label: Optional[str]
+    placements: Tuple[Tuple[str, str], ...]
+    makespan_seconds: float
+    pmem_bytes: int
+    remote_bytes: int
+    dram_bytes: int
+    cores_per_socket: int
+    why: str
+    price_source: str  # "simulation" | "analytic"
+
+    @property
+    def objectives(self) -> Tuple[float, int, int]:
+        return (self.makespan_seconds, self.pmem_bytes, self.remote_bytes)
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "mode": self.mode,
+            "tier": self.tier,
+            "colocated": self.colocated,
+            "config": self.config_label,
+            "placements": {role: where for role, where in self.placements},
+            "makespan_seconds": self.makespan_seconds,
+            "pmem_bytes": self.pmem_bytes,
+            "remote_bytes": self.remote_bytes,
+            "dram_bytes": self.dram_bytes,
+            "cores_per_socket": self.cores_per_socket,
+            "why": self.why,
+            "price_source": self.price_source,
+        }
+
+
+def retained_pmem_bytes(spec: WorkflowSpec, mode: str) -> int:
+    """Channel bytes retained in PMEM for the campaign's duration.
+
+    Serial execution drains the whole stream before the reader starts, so
+    the channel holds every version; parallel streaming trims consumed
+    versions and holds only the producer/consumer window.
+    """
+    if mode == "serial":
+        return spec.total_data_bytes()
+    return min(
+        spec.total_data_bytes(),
+        PARALLEL_WINDOW_SNAPSHOTS * spec.ranks * spec.snapshot.snapshot_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class WorkflowChoices:
+    """One workflow's priced candidate list plus the heuristic's pick."""
+
+    key: str  # "family@ranks"
+    family: str
+    ranks: int
+    heuristic_label: str
+    candidates: Tuple[Candidate, ...]
+
+    def candidate(self, key: str) -> Candidate:
+        for candidate in self.candidates:
+            if candidate.key == key:
+                return candidate
+        raise ConfigurationError(
+            f"{self.key}: no candidate {key!r}; have "
+            f"{[c.key for c in self.candidates]}"
+        )
+
+    @property
+    def makespan_best(self) -> Candidate:
+        """Fastest candidate (ties: CANDIDATE_ORDER, then key)."""
+        return min(
+            self.candidates,
+            key=lambda c: (c.makespan_seconds,) + candidate_sort_key(c.key),
+        )
+
+    @property
+    def heuristic_candidate(self) -> Candidate:
+        return self.candidate(self.heuristic_label)
+
+
+@dataclass(frozen=True)
+class ScenarioLimits:
+    """Capacity constraints derived from the platform model.
+
+    ``pmem_budget_bytes`` is the scenario's Σ-footprint budget — by
+    default the node's total PMEM, tightened via ``--pmem-budget`` to
+    model sharing the device with other tenants.  ``dram_budget_bytes``
+    and ``cores_per_socket`` gate individual candidates (DRAM staging and
+    colocation); ``upi_bandwidth`` is carried for provenance (remote
+    seconds are already priced into makespans by the calibration).
+    """
+
+    pmem_budget_bytes: Optional[int]
+    dram_budget_bytes: int
+    cores_per_socket: int
+    upi_bandwidth: float
+
+    @staticmethod
+    def from_node(
+        node: Node, pmem_budget_bytes: Optional[int] = None
+    ) -> "ScenarioLimits":
+        total_pmem = sum(s.pmem.capacity_bytes for s in node.sockets)
+        budget = pmem_budget_bytes if pmem_budget_bytes is not None else total_pmem
+        if budget <= 0:
+            raise ConfigurationError(
+                f"pmem budget must be positive, got {budget}"
+            )
+        return ScenarioLimits(
+            pmem_budget_bytes=budget,
+            dram_budget_bytes=max(s.dram_bytes for s in node.sockets),
+            cores_per_socket=max(s.n_cores for s in node.sockets),
+            upi_bandwidth=min(
+                (
+                    node.upi(a, b).bandwidth
+                    for a in range(node.n_sockets)
+                    for b in range(a + 1, node.n_sockets)
+                ),
+                default=float("inf"),
+            ),
+        )
+
+    def candidate_feasible(self, candidate: Candidate) -> bool:
+        """Single-candidate feasibility (budget Σ-checks happen later)."""
+        if candidate.cores_per_socket > self.cores_per_socket:
+            return False
+        if candidate.dram_bytes > self.dram_budget_bytes:
+            return False
+        return True
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "pmem_budget_bytes": self.pmem_budget_bytes,
+            "dram_budget_bytes": self.dram_budget_bytes,
+            "cores_per_socket": self.cores_per_socket,
+            "upi_bandwidth": (
+                None
+                if self.upi_bandwidth == float("inf")
+                else self.upi_bandwidth
+            ),
+        }
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A whole optimization instance: per-workflow choices plus limits."""
+
+    choices: Tuple[WorkflowChoices, ...]
+    limits: ScenarioLimits
+    pricer: str = "analytic"
+
+    def __post_init__(self) -> None:
+        keys = [c.key for c in self.choices]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError(f"duplicate workflow keys: {keys}")
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        return tuple(c.key for c in self.choices)
+
+    def choices_of(self, key: str) -> WorkflowChoices:
+        for choice in self.choices:
+            if choice.key == key:
+                return choice
+        raise ConfigurationError(f"no workflow {key!r} in scenario")
+
+    def feasible_candidates(self, choice: WorkflowChoices) -> Tuple[Candidate, ...]:
+        """The choice set after per-candidate capacity gating, in
+        deterministic order."""
+        feasible = tuple(
+            candidate
+            for candidate in sorted(
+                choice.candidates, key=lambda c: candidate_sort_key(c.key)
+            )
+            if self.limits.candidate_feasible(candidate)
+        )
+        if not feasible:
+            raise ConfigurationError(
+                f"{choice.key}: no candidate fits the platform limits"
+            )
+        return feasible
+
+    def as_record(self) -> Dict[str, Any]:
+        return {
+            "workflows": list(self.keys),
+            "limits": self.limits.as_record(),
+            "pricer": self.pricer,
+        }

@@ -21,8 +21,9 @@ engine is validated against.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.core.configs import P_LOCR, P_LOCW, S_LOCR, S_LOCW, SchedulerConfig
 from repro.core.features import (
@@ -51,17 +52,76 @@ class Recommendation:
 
 
 @dataclass(frozen=True)
+class PlacementPrice:
+    """Structured price of one channel placement (per-run seconds).
+
+    The scalar serial estimate decomposes into three blame-style terms —
+    the same vocabulary :mod:`repro.obs.explain` uses for measured runs —
+    so both the heuristic recommender and the global optimizer can say
+    *why* a placement costs what it does, not just how much:
+
+    * ``compute_seconds`` — both components' pure-compute phases;
+    * ``drain_seconds`` — the channel-local component's I/O phase
+      (draining into socket-local PMEM at full local bandwidth);
+    * ``remote_seconds`` — the channel-remote component's I/O phase
+      (every byte crosses the UPI link).
+    """
+
+    compute_seconds: float
+    drain_seconds: float
+    remote_seconds: float
+    #: Which component pays the remote penalty under this placement.
+    remote_component: str
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.drain_seconds + self.remote_seconds
+
+    def fractions(self) -> Dict[str, float]:
+        """Blame-bucket shares of the total (compute / drain / remote)."""
+        total = self.total_seconds
+        if total <= 0:
+            return {"compute": 0.0, "drain": 0.0, "remote": 0.0}
+        return {
+            "compute": self.compute_seconds / total,
+            "drain": self.drain_seconds / total,
+            "remote": self.remote_seconds / total,
+        }
+
+    @property
+    def dominant(self) -> str:
+        """The largest blame bucket (ties: compute > drain > remote)."""
+        shares = self.fractions()
+        return max(("compute", "drain", "remote"), key=lambda k: shares[k])
+
+    def as_record(self) -> Dict[str, float]:
+        return {
+            "compute_seconds": self.compute_seconds,
+            "drain_seconds": self.drain_seconds,
+            "remote_seconds": self.remote_seconds,
+            "total_seconds": self.total_seconds,
+            "remote_component": self.remote_component,
+        }
+
+
+@dataclass(frozen=True)
 class PlacementEstimates:
     """The §VIII serial-runtime estimates under each channel placement.
 
     These are the cost model's placement prices, exposed on their own
     because they double as a *predicted makespan* — which is what lets the
     service scheduler order jobs shortest-predicted-first without running
-    anything.
+    anything.  ``t_locw_seconds`` / ``t_locr_seconds`` keep the original
+    scalar formulas bit-for-bit (Table II output depends on them); the
+    ``locw`` / ``locr`` breakdowns expose the same price split into
+    compute / drain / remote components for consumers that need to know
+    *where* the seconds go (the optimizer's objective terms).
     """
 
     t_locw_seconds: float
     t_locr_seconds: float
+    locw: Optional[PlacementPrice] = None
+    locr: Optional[PlacementPrice] = None
 
     @property
     def local_write_preferred(self) -> bool:
@@ -71,6 +131,10 @@ class PlacementEstimates:
     def best_seconds(self) -> float:
         """The cheaper placement's serial estimate (a makespan proxy)."""
         return min(self.t_locw_seconds, self.t_locr_seconds)
+
+    def breakdown(self, local_write: bool) -> Optional[PlacementPrice]:
+        """The structured price of one placement (None on legacy instances)."""
+        return self.locw if local_write else self.locr
 
 
 # ---------------------------------------------------------------------------
@@ -285,6 +349,10 @@ class CostModelParameters:
 # ---------------------------------------------------------------------------
 
 
+#: Bound on the engine's keyed feature cache (FIFO eviction beyond this).
+_FEATURE_CACHE_MAX = 512
+
+
 class RecommendationEngine:
     """Static scheduler-configuration recommender.
 
@@ -297,6 +365,15 @@ class RecommendationEngine:
         Device calibration used for feature extraction.
     params:
         Cost-model tuning knobs.
+    cache:
+        Keep a keyed cache of extracted features.  Sweeps and service
+        passes price the same (workflow, calibration) pair many times —
+        ordering, recommending, and regret-scoring each re-derived the
+        four standalone profiles from scratch.  The cache is keyed on the
+        frozen spec itself, so two structurally identical specs share one
+        extraction; :meth:`invalidate_cache` flushes it and bumps
+        :attr:`cache_token` (the token a caller can record to prove which
+        cache generation priced its results).
     """
 
     def __init__(
@@ -304,6 +381,7 @@ class RecommendationEngine:
         strategy: str = "hybrid",
         cal: OptaneCalibration = DEFAULT_CALIBRATION,
         params: CostModelParameters = CostModelParameters(),
+        cache: bool = True,
     ) -> None:
         if strategy not in _STRATEGIES:
             raise ConfigurationError(
@@ -313,11 +391,58 @@ class RecommendationEngine:
         self.cal = cal
         self.params = params
         self._rules = table2_rules()
+        self._cache_enabled = bool(cache)
+        self._features_cache: "OrderedDict[WorkflowSpec, WorkflowFeatures]" = (
+            OrderedDict()
+        )
+        self._cache_token = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # -- feature cache --------------------------------------------------
+    @property
+    def cache_token(self) -> int:
+        """Generation counter: bumped by every :meth:`invalidate_cache`."""
+        return self._cache_token
+
+    def invalidate_cache(self) -> int:
+        """Drop all cached features; returns the new generation token."""
+        self._features_cache.clear()
+        self._cache_token += 1
+        return self._cache_token
+
+    def cache_info(self) -> Dict[str, int]:
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "entries": len(self._features_cache),
+            "token": self._cache_token,
+        }
+
+    def features_of(self, spec: WorkflowSpec) -> WorkflowFeatures:
+        """Extract (or recall) the features of *spec* under this engine's
+        calibration — the cached entry point every pricing path shares."""
+        if not self._cache_enabled:
+            return extract_features(spec, self.cal)
+        try:
+            cached = self._features_cache.get(spec)
+        except TypeError:  # unhashable custom kernel: price uncached
+            return extract_features(spec, self.cal)
+        if cached is not None:
+            self._cache_hits += 1
+            self._features_cache.move_to_end(spec)
+            return cached
+        self._cache_misses += 1
+        features = extract_features(spec, self.cal)
+        self._features_cache[spec] = features
+        if len(self._features_cache) > _FEATURE_CACHE_MAX:
+            self._features_cache.popitem(last=False)
+        return features
 
     # ------------------------------------------------------------------
     def recommend(self, spec: WorkflowSpec) -> Recommendation:
         """Recommend a configuration for *spec*."""
-        features = extract_features(spec, self.cal)
+        features = self.features_of(spec)
         if self.strategy in ("table2", "hybrid"):
             matched = self._match_table2(features)
             if matched is not None:
@@ -347,7 +472,10 @@ class RecommendationEngine:
         """Serial-runtime estimate under each placement (§VIII pricing).
 
         Total runtime if the two components ran serially, from the
-        analytic local/remote standalone profiles.
+        analytic local/remote standalone profiles.  The scalar estimates
+        keep their original float expressions exactly; the structured
+        breakdowns split the same profiles into compute / drain / remote
+        seconds for the optimizer's objective terms.
         """
         iters = f.iterations
         return PlacementEstimates(
@@ -361,6 +489,26 @@ class RecommendationEngine:
                 f.sim_remote_profile.iteration_seconds
                 + f.analytics_profile.iteration_seconds
             ),
+            locw=PlacementPrice(
+                compute_seconds=iters
+                * (
+                    f.sim_profile.compute_seconds
+                    + f.analytics_remote_profile.compute_seconds
+                ),
+                drain_seconds=iters * f.sim_profile.io_seconds,
+                remote_seconds=iters * f.analytics_remote_profile.io_seconds,
+                remote_component="analytics",
+            ),
+            locr=PlacementPrice(
+                compute_seconds=iters
+                * (
+                    f.sim_remote_profile.compute_seconds
+                    + f.analytics_profile.compute_seconds
+                ),
+                drain_seconds=iters * f.analytics_profile.io_seconds,
+                remote_seconds=iters * f.sim_remote_profile.io_seconds,
+                remote_component="simulation",
+            ),
         )
 
     def estimate_makespan(self, spec: WorkflowSpec) -> float:
@@ -369,9 +517,7 @@ class RecommendationEngine:
         A static price, not a simulation — used by the service scheduler
         for shortest-predicted-job-first ordering.
         """
-        return self.placement_estimates(
-            extract_features(spec, self.cal)
-        ).best_seconds
+        return self.placement_estimates(self.features_of(spec)).best_seconds
 
     def _model_recommendation(self, f: WorkflowFeatures) -> Recommendation:
         """Quantified §VIII logic: price placement, then execution mode."""

@@ -48,7 +48,18 @@ def _why(result: RunResult) -> str:
     return why_line(attribution).replace(" (est.)", "")
 
 
-def run(cal: Optional[OptaneCalibration] = None) -> ExperimentResult:
+def run(
+    cal: Optional[OptaneCalibration] = None, engine: str = "heuristic"
+) -> ExperimentResult:
+    """Regenerate Table II.
+
+    ``engine`` selects the path that fills the recommendation column:
+    ``"heuristic"`` (the Table II rule engine — the paper artifact) or
+    ``"optimize"`` (the global optimizer's simulation-priced candidate
+    argmin, fed from the tuner results already computed for the oracle
+    column, so it costs nothing extra).  With ``"optimize"`` a diff
+    artifact lists every panel where the two paths disagree.
+    """
     cal = cal or DEFAULT_CALIBRATION
     result = ExperimentResult(
         experiment_id=EXPERIMENT_ID, title=TITLE, description=__doc__.strip()
@@ -56,31 +67,61 @@ def run(cal: Optional[OptaneCalibration] = None) -> ExperimentResult:
     table_engine = RecommendationEngine(strategy="hybrid", cal=cal)
     model_engine = RecommendationEngine(strategy="model", cal=cal)
     tuner = ExhaustiveTuner(cal=cal)
+    optimize = engine == "optimize"
 
     rows = []
     table_hits = 0
     model_hits = 0
     oracle_hits = 0
     regrets = []
+    engine_diffs = []
     entries = workflow_suite()
     for entry in entries:
         table_rec = table_engine.recommend(entry.spec)
         model_rec = model_engine.recommend(entry.spec)
         report = tuner.tune(entry.spec)
         oracle_best = report.comparison.best_label
-        table_hits += table_rec.config.label == entry.paper_best
+        pick_label = table_rec.config.label
+        pick_note = (
+            f" (row {table_rec.matched_rule})" if table_rec.matched_rule else ""
+        )
+        pick_config = table_rec.config
+        if optimize:
+            from repro.core.configs import SchedulerConfig
+            from repro.core.optimize.pricing import SimulationPricer
+
+            key = f"{entry.family}@{entry.ranks}"
+            pricer = SimulationPricer(
+                cal=cal,
+                precomputed={
+                    key: {
+                        label: run_result.makespan
+                        for label, run_result in report.results.items()
+                    }
+                },
+            )
+            best = pricer.price(entry.spec, entry.family, entry.ranks).makespan_best
+            if best.key != table_rec.config.label:
+                engine_diffs.append(
+                    f"{entry.spec.name}: heuristic {table_rec.config.label} "
+                    f"vs optimize {best.key} "
+                    f"({report.regret_of(table_rec.config):+.1%} makespan "
+                    f"left on the table)"
+                )
+            pick_label, pick_note = best.key, ""
+            pick_config = SchedulerConfig.from_label(best.key)
+        table_hits += pick_label == entry.paper_best
         model_hits += model_rec.config.label == entry.paper_best
         oracle_hits += oracle_best == entry.paper_best
-        regrets.append(report.regret_of(table_rec.config))
+        regrets.append(report.regret_of(pick_config))
         rows.append(
             (
                 entry.spec.name,
                 entry.paper_best,
-                f"{table_rec.config.label}"
-                + (f" (row {table_rec.matched_rule})" if table_rec.matched_rule else ""),
+                f"{pick_label}{pick_note}",
                 model_rec.config.label,
                 oracle_best,
-                f"{report.regret_of(table_rec.config):.1%}",
+                f"{report.regret_of(pick_config):.1%}",
                 _why(report.results[oracle_best]),
             )
         )
@@ -89,7 +130,7 @@ def run(cal: Optional[OptaneCalibration] = None) -> ExperimentResult:
             [
                 "workflow",
                 "paper",
-                "Table II engine",
+                "optimizer" if optimize else "Table II engine",
                 "cost model",
                 "oracle",
                 "engine regret",
@@ -98,6 +139,15 @@ def run(cal: Optional[OptaneCalibration] = None) -> ExperimentResult:
             rows,
         )
     )
+    if optimize:
+        result.artifacts.append(
+            "engine diff (heuristic vs optimize):\n"
+            + (
+                "\n".join(f"  {line}" for line in engine_diffs)
+                if engine_diffs
+                else "  all 18 panels agree"
+            )
+        )
     n = len(entries)
     result.data["table_hits"] = table_hits
     result.data["model_hits"] = model_hits
@@ -107,7 +157,11 @@ def run(cal: Optional[OptaneCalibration] = None) -> ExperimentResult:
     result.claims.append(
         Claim(
             claim_id=f"{EXPERIMENT_ID}.rule_engine",
-            description="the Table II rule engine picks the paper's configuration",
+            description=(
+                "the optimizer re-derives the paper's configuration"
+                if optimize
+                else "the Table II rule engine picks the paper's configuration"
+            ),
             paper_value="10/10 rows (18/18 suite workflows)",
             measured_value=f"{table_hits}/{n}",
             holds=table_hits >= n - 2,

@@ -109,12 +109,17 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     telemetry = ServiceTelemetry(args.dir, enabled=not args.no_telemetry)
+    plan = None
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = json.load(handle)
     scheduler = ServiceScheduler(
         root=args.dir,
         strategy=args.strategy,
         jobs=args.jobs,
         backoff_seconds=args.backoff,
         telemetry=telemetry,
+        plan=plan,
     )
     stop_requested = {"flag": False}
 
@@ -496,6 +501,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.1,
         help="base seconds of the exponential retry backoff",
+    )
+    run.add_argument(
+        "--plan",
+        default=None,
+        metavar="PATH",
+        help="optimizer plan JSON (python -m repro.core.optimize solve "
+        "--out); overrides SJF prices for planned cells and reports "
+        "regret vs the plan",
     )
     run.add_argument(
         "--report-out",

@@ -51,6 +51,7 @@ from repro.service.tasks import (
     execute_cell_record,
     execute_experiment,
 )
+from repro.core.optimize.backends import PLAN_SCHEMA
 from repro.service.telemetry import ServiceTelemetry
 
 #: The campaign (under ``<root>/campaigns/``) service results accumulate in.
@@ -127,6 +128,10 @@ class ServiceRunReport:
                 f"recommended {entry['recommended']} "
                 f"(regret {entry['regret']:+.1%})"
             )
+            if entry.get("plan") is not None:
+                line += f", plan {entry['plan']}"
+                if entry.get("plan_regret") is not None:
+                    line += f" (regret {entry['plan_regret']:+.1%})"
             if entry.get("why"):
                 line += f" — bottleneck {entry['why']}"
             lines.append(line)
@@ -144,12 +149,27 @@ class ServiceScheduler:
         cal: OptaneCalibration = DEFAULT_CALIBRATION,
         backoff_seconds: float = DEFAULT_BACKOFF_SECONDS,
         telemetry: Optional[ServiceTelemetry] = None,
+        plan: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.root = root
         self.strategy = strategy
         self.jobs = jobs
         self.cal = cal
         self.backoff_seconds = backoff_seconds
+        # An optimizer plan (repro.optimize.plan/v1) overrides per-job SJF
+        # prices for the cells it covers, and regret entries gain the
+        # plan's pick so `status` can show regret vs the plan.
+        self.plan = plan
+        self._plan_assignments: Dict[str, Dict[str, Any]] = {}
+        if plan is not None:
+            from repro.errors import ConfigurationError
+
+            schema = plan.get("schema")
+            if schema != PLAN_SCHEMA:
+                raise ConfigurationError(
+                    f"plan schema is {schema!r}, expected {PLAN_SCHEMA!r}"
+                )
+            self._plan_assignments = dict(plan.get("assignments", {}))
         # A disabled instance is the default: every hook below becomes a
         # no-op and no telemetry file is ever created.
         self.telemetry = (
@@ -288,8 +308,24 @@ class ServiceScheduler:
         except Exception:
             return None
 
+    def _plan_assignment(self, job: Job) -> Optional[Dict[str, Any]]:
+        """The optimizer plan's entry for this cell job, if any."""
+        if not self._plan_assignments or job.kind != KIND_CELL:
+            return None
+        key = f"{job.payload.get('family')}@{job.payload.get('ranks')}"
+        return self._plan_assignments.get(key)
+
     def _predict_seconds(self, job: Job) -> float:
-        """SJF sort key; unpredictable jobs sort last instead of crashing."""
+        """SJF sort key; unpredictable jobs sort last instead of crashing.
+
+        A plan assignment's predicted makespan wins over the engine's
+        estimate — the plan priced the whole suite jointly.
+        """
+        assignment = self._plan_assignment(job)
+        if assignment is not None:
+            predicted = assignment.get("predicted_seconds")
+            if isinstance(predicted, (int, float)):
+                return float(predicted)
         try:
             return self._engine.estimate_makespan(self._build_spec(job))
         except Exception:
@@ -319,6 +355,14 @@ class ServiceScheduler:
             "recommended": recommended,
             "regret": chosen / best - 1.0,
         }
+        assignment = self._plan_assignment(job)
+        if assignment is not None and assignment.get("config"):
+            planned = makespans.get(assignment["config"])
+            entry["plan"] = assignment["config"]
+            if planned is not None:
+                entry["plan_regret"] = planned / best - 1.0
+            if assignment.get("why"):
+                entry["plan_why"] = assignment["why"]
         bottleneck = cell_bottleneck(deterministic)
         if bottleneck is not None:
             entry["bottleneck"] = bottleneck["dominant"]
