@@ -52,13 +52,15 @@ happens to compare equal today — so this pass walks the source with
     worker pool spun up inside model code would make event order depend
     on host scheduling.
 ``SIM111``
-    ``dict()`` / ``{...}`` / ``ResourceLoad(...)`` constructed inside a
-    ``for``/``while`` loop of a function marked with a
+    ``dict()`` / ``{...}`` / ``ResourceLoad(...)`` / numpy array
+    allocators (``np.zeros``, ``np.empty``, ``np.array``, ``np.full``,
+    ``np.arange``, ``np.ones`` and their ``_like`` variants) constructed
+    inside a ``for``/``while`` loop of a function marked with a
     ``# simlint: hotpath`` comment.  Hot solver loops (the flow network's
-    fixed point) run millions of iterations per campaign; per-iteration
-    allocation churn is exactly the cost the fast path removed, and this
-    rule keeps future edits from silently reintroducing it.  Allocate
-    before the loop and reset in place.
+    fixed point, scalar or vectorized) run millions of iterations per
+    campaign; per-iteration allocation churn is exactly the cost the fast
+    path removed, and this rule keeps future edits from silently
+    reintroducing it.  Allocate before the loop and reset in place.
 
 A finding can be suppressed with a ``# noqa`` or ``# noqa: SIM103`` comment
 on the offending line — but the default state of the tree is zero
@@ -195,8 +197,23 @@ HOTPATH_MARKER = "simlint: hotpath"
 
 #: Constructors that mean heap churn when called per loop iteration in a
 #: hotpath function (SIM111).  ``ResourceLoad`` is matched by terminal
-#: identifier so both plain and module-qualified spellings are caught.
-_HOTPATH_ALLOCATORS: Set[str] = {"dict", "ResourceLoad"}
+#: identifier so both plain and module-qualified spellings are caught;
+#: the numpy allocators are matched by resolved dotted origin only (a
+#: bare ``zeros()`` method on some other object is not an allocation),
+#: so the vectorized solver's batch buffers must be built once per solve
+#: and filled in place inside the fixed-point loop.
+_HOTPATH_ALLOCATORS: Set[str] = {
+    "dict",
+    "ResourceLoad",
+    "numpy.arange",
+    "numpy.array",
+    "numpy.empty",
+    "numpy.empty_like",
+    "numpy.full",
+    "numpy.ones",
+    "numpy.zeros",
+    "numpy.zeros_like",
+}
 
 
 def _package_of(module: str) -> str:

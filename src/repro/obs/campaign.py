@@ -868,23 +868,28 @@ def _heatmap_cell(makespan: float, best: float, is_winner: bool) -> str:
 
 
 def _memo_warnings(run: CampaignRun) -> List[str]:
-    """Cells where the solver memo never hit despite being exercised.
+    """Cells where the solver reuses *nothing* despite being exercised.
 
-    GTC-class workflows are the ROADMAP's "next 10×" target precisely
-    because BENCH_simcore shows their memo hit rate pinned at 0.0 — this
-    keeps that signal visible in every report instead of buried in the
-    host-cost table.
+    GTC-class workflows were the ROADMAP's "next 10×" target because
+    BENCH_simcore once showed their memo hit rate pinned at 0.0.  The
+    share-state tokens (PR-10) fixed that: read-only solve phases now
+    memo-hit across the congestion EWMA's drift, and untouched connected
+    components replay cached rates (``solver_components_skipped``).  A
+    GTC cell showing either signal is the fast path working as designed,
+    so only a cell with *neither* memo hits *nor* skipped components —
+    every solve recomputed from scratch — still warns.
     """
     warnings = []
     for cell in run.cells:
         if not cell.key.startswith("gtc"):
             continue
         misses = cell.host.solver_memo_misses
-        if misses > 0 and cell.host.solver_memo_hits == 0:
+        reused = cell.host.solver_memo_hits + cell.host.solver_components_skipped
+        if misses > 0 and reused == 0:
             warnings.append(
-                f"{cell.key}: solver memo hit rate is 0.0% "
-                f"(0/{misses:.0f}) — every flow solve recomputed from "
-                "scratch; see the ROADMAP memoization item"
+                f"{cell.key}: solver reused no work "
+                f"(0 memo hits / {misses:.0f} misses, 0 components "
+                "skipped) — every flow solve recomputed from scratch"
             )
     return warnings
 
@@ -971,6 +976,8 @@ def campaign_report(run: CampaignRun, markdown: bool = True) -> str:
             f"({host.solver_memo_hits:.0f}/"
             f"{host.solver_memo_hits + host.solver_memo_misses:.0f}) |",
             f"| recomputes coalesced | {host.recomputes_coalesced:.0f} |",
+            f"| components skipped | {host.solver_components_skipped:.0f} |",
+            f"| vector batches | {host.vector_batches:.0f} |",
             f"| peak tracemalloc bytes | {host.peak_tracemalloc_bytes} |",
             "",
         ]
@@ -1054,5 +1061,7 @@ def bench_record(run: CampaignRun) -> Dict[str, Any]:
         "solver_memo_misses": host.solver_memo_misses,
         "memo_hit_rate": host.memo_hit_rate,
         "recomputes_coalesced": host.recomputes_coalesced,
+        "solver_components_skipped": host.solver_components_skipped,
+        "vector_batches": host.vector_batches,
         "peak_tracemalloc_bytes": host.peak_tracemalloc_bytes,
     }

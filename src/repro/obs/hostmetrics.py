@@ -97,6 +97,11 @@ class HostMetrics:
     solver_memo_hits: float = 0.0
     solver_memo_misses: float = 0.0
     recomputes_coalesced: float = 0.0
+    #: Incremental-solve accounting (PR-10): connected components whose
+    #: cached rates were replayed instead of re-solved, and batched
+    #: vectorized fixed-point sweeps run by the numpy backend.
+    solver_components_skipped: float = 0.0
+    vector_batches: float = 0.0
     peak_tracemalloc_bytes: int = 0
     runs: int = 0
     hotspots: List[Hotspot] = field(default_factory=list)
@@ -140,6 +145,8 @@ class HostMetrics:
             "solver_memo_misses": self.solver_memo_misses,
             "memo_hit_rate": self.memo_hit_rate,
             "recomputes_coalesced": self.recomputes_coalesced,
+            "solver_components_skipped": self.solver_components_skipped,
+            "vector_batches": self.vector_batches,
             "peak_tracemalloc_bytes": self.peak_tracemalloc_bytes,
             "runs": self.runs,
         }
@@ -239,6 +246,7 @@ def simulated_host_metrics(
     simulated = 0.0
     events = timers = recomputes = solver = completed = 0.0
     classes = memo_hits = memo_misses = coalesced = 0.0
+    skipped = batches = 0.0
     for observation in observations:
         if observation.result is not None:
             simulated += observation.result.makespan
@@ -253,6 +261,8 @@ def simulated_host_metrics(
         memo_hits += stats.get("solver_memo_hits", 0)
         memo_misses += stats.get("solver_memo_misses", 0)
         coalesced += stats.get("recomputes_coalesced", 0)
+        skipped += stats.get("solver_components_skipped", 0)
+        batches += stats.get("vector_batches", 0)
     return HostMetrics(
         kind=KIND_SIMULATED,
         wall_seconds=meter.wall_seconds,
@@ -266,6 +276,8 @@ def simulated_host_metrics(
         solver_memo_hits=memo_hits,
         solver_memo_misses=memo_misses,
         recomputes_coalesced=coalesced,
+        solver_components_skipped=skipped,
+        vector_batches=batches,
         peak_tracemalloc_bytes=meter.peak_tracemalloc_bytes,
         runs=len(observations),
         hotspots=meter.hotspots(),
@@ -320,6 +332,8 @@ def aggregate_host_metrics(metrics: Iterable[HostMetrics]) -> HostMetrics:
         total.solver_memo_hits += item.solver_memo_hits
         total.solver_memo_misses += item.solver_memo_misses
         total.recomputes_coalesced += item.recomputes_coalesced
+        total.solver_components_skipped += item.solver_components_skipped
+        total.vector_batches += item.vector_batches
         total.peak_tracemalloc_bytes = max(
             total.peak_tracemalloc_bytes, item.peak_tracemalloc_bytes
         )
@@ -359,6 +373,8 @@ def host_metrics_from_record(record: Dict[str, Any]) -> HostMetrics:
         solver_memo_hits=record.get("solver_memo_hits", 0.0),
         solver_memo_misses=record.get("solver_memo_misses", 0.0),
         recomputes_coalesced=record.get("recomputes_coalesced", 0.0),
+        solver_components_skipped=record.get("solver_components_skipped", 0.0),
+        vector_batches=record.get("vector_batches", 0.0),
         peak_tracemalloc_bytes=record.get("peak_tracemalloc_bytes", 0),
         runs=record.get("runs", 0),
         hotspots=[

@@ -62,6 +62,13 @@ class OptaneDeviceResource(CapacityResource):
         "_pollers_remote",
     )
 
+    #: :meth:`share` dispatches purely on the flow's kind and locality —
+    #: every other input comes from the :class:`ResourceLoad` — so the
+    #: solver may evaluate one share per (kind, remote) group per resource
+    #: instead of one per equivalence class (see
+    #: :attr:`CapacityResource.share_signature_fields`).
+    share_signature_fields = ("kind", "remote")
+
     def __init__(self, name: str, cal: OptaneCalibration) -> None:
         super().__init__(name)
         cal.validate()
@@ -110,6 +117,25 @@ class OptaneDeviceResource(CapacityResource):
             self._pollers_local,
             self._pollers_remote,
         )
+
+    def share_state_token(self, kind: str, remote: bool) -> object:
+        """Per-(kind, remote) refinement of :meth:`solver_state_token`.
+
+        ``_read_share`` reads no mutable device state at all, so read
+        tokens are empty — a read-only component survives poller churn and
+        EWMA decay without re-solving.  ``_write_share`` reads the poller
+        counts (mix interference) for every write and additionally the
+        congestion EWMA for remote writes.
+        """
+        if kind == "read":
+            return ()
+        if remote:
+            return (
+                self._remote_write_ewma,
+                self._pollers_local,
+                self._pollers_remote,
+            )
+        return (self._pollers_local, self._pollers_remote)
 
     # ------------------------------------------------------------------
     # Pollers: readers blocked on an unpublished version busy-poll the

@@ -171,14 +171,26 @@ class Engine:
     # ------------------------------------------------------------------
     # Main loop.
     # ------------------------------------------------------------------
-    def _dispatch(self, until: Optional[float]) -> Optional[bool]:
-        """Pop and execute the next timer through a single heap path.
+    def _dispatch(
+        self, until: Optional[float], batch: bool = True
+    ) -> Optional[bool]:
+        """Pop and execute the next timestamp *cluster* through one heap path.
 
-        Returns ``True`` after executing a callback, ``False`` when the
-        queue is exhausted (flush hooks included), and ``None`` when the
-        next event lies beyond the *until* horizon.  Cancelled timers are
-        discarded (and counted) here and only here, so the accounting is
-        identical whether the caller is :meth:`step` or :meth:`run`.
+        All timers whose times are :func:`times_close` to the pending head
+        are executed in one sweep (*batch* mode, used by :meth:`run`):
+        completions that are simultaneous in the model but ulp-staggered by
+        fluid-rate rounding dispatch together, and the flush hooks —
+        deferred until the clock is about to leave the epsilon cluster —
+        then run a single deferred solve for the whole burst instead of one
+        per ulp.  :meth:`step` passes ``batch=False`` for single-timer
+        granularity; both paths share the exact counter accounting
+        (``events_executed`` per executed callback,
+        ``timers_cancelled_skipped`` per discarded timer, ``on_step`` per
+        callback with the live queue depth).
+
+        Returns ``True`` after executing at least one callback, ``False``
+        when the queue is exhausted (flush hooks included), and ``None``
+        when the next event lies beyond the *until* horizon.
         """
         queue = self._queue
         while True:
@@ -192,6 +204,7 @@ class Engine:
             head_time = queue[0][0]
             if (
                 head_time > self._now
+                and not times_close(head_time, self._now)
                 and self._flush_hooks
                 and self._run_flush_hooks()
             ):
@@ -200,19 +213,34 @@ class Engine:
                 continue
             if until is not None and head_time > until:
                 return None
-            time, _seq, timer = heapq.heappop(queue)
-            if time < self._now:  # pragma: no cover - guarded by schedule()
-                raise SimulationError("event queue went backwards in time")
-            self._now = time
-            timer.callback()
-            self.events_executed += 1
-            if self.hooks is not None:
-                self.hooks.on_step(self._now, len(queue))
-            return True
+            executed = 0
+            while queue:
+                time = queue[0][0]
+                if not times_close(time, head_time):
+                    break
+                if until is not None and time > until:
+                    break
+                _time, _seq, timer = heapq.heappop(queue)
+                if timer.cancelled:
+                    self.timers_cancelled_skipped += 1
+                    continue
+                if time < self._now:  # pragma: no cover - guarded by schedule()
+                    raise SimulationError("event queue went backwards in time")
+                self._now = time
+                timer.callback()
+                executed += 1
+                self.events_executed += 1
+                if self.hooks is not None:
+                    self.hooks.on_step(self._now, len(queue))
+                if not batch:
+                    break
+            if executed:
+                return True
+            # The entire cluster was cancelled under us — start over.
 
     def step(self) -> bool:
         """Execute the next non-cancelled timer; return ``False`` if none remain."""
-        return bool(self._dispatch(None))
+        return bool(self._dispatch(None, batch=False))
 
     def run(self, until: Optional[float] = None, check_deadlock: bool = True) -> float:
         """Run until the queue drains (or virtual time *until* is reached).

@@ -256,11 +256,14 @@ class _WorkflowExecution:
             if not version_event.triggered:
                 # Blocked: busy-poll the channel's version metadata in
                 # PMEM, which interferes with concurrent writes (§VI).
+                # Targeted poke: only the device's share-state token moved,
+                # so components not affected by it (e.g. read-only phases)
+                # skip their solve entirely.
                 device.add_poller(poller_remote)
-                self.network.poke()
+                self.network.poke(device)
                 yield version_event
                 device.remove_poller(poller_remote)
-                self.network.poke()
+                self.network.poke(device)
             if engine.now > t0:
                 stats.wait += engine.now - t0
                 self.tracer.record("reader", rank, "wait", t0, engine.now, iteration)

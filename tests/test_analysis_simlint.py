@@ -459,6 +459,57 @@ class TestSIM111HotpathAllocation:
             == []
         )
 
+    def test_numpy_allocators_flagged_in_hotpath_loop(self):
+        snippet = """
+            import numpy as np
+
+            def solve(classes):  # simlint: hotpath
+                for _ in range(24):
+                    rates = np.zeros(len(classes))
+                    scratch = np.empty_like(rates)
+        """
+        assert codes(snippet).count("SIM111") == 2
+
+    def test_numpy_from_import_resolved(self):
+        assert "SIM111" in codes(
+            """
+            from numpy import zeros
+
+            def solve(classes):  # simlint: hotpath
+                while classes:
+                    buf = zeros(8)
+            """
+        )
+
+    def test_numpy_allocation_outside_loop_not_flagged(self):
+        assert (
+            codes(
+                """
+                import numpy as np
+
+                def solve(classes):  # simlint: hotpath
+                    rates = np.zeros(len(classes))
+                    for _ in range(24):
+                        rates.fill(0.0)
+                """
+            )
+            == []
+        )
+
+    def test_unresolved_zeros_method_not_flagged(self):
+        # A ``zeros`` attribute on some other object is not numpy; only
+        # resolved dotted origins match the numpy allocator list.
+        assert (
+            codes(
+                """
+                def solve(pool):  # simlint: hotpath
+                    for _ in range(24):
+                        buf = pool.zeros(8)
+                """
+            )
+            == []
+        )
+
 
 class TestSuppression:
     def test_noqa_with_code_suppresses(self):

@@ -382,7 +382,8 @@ class TestNetworkCountersAndCoalescing:
         engine.schedule(2.0, throttle)
         engine.run()
         # The capacity change is invisible to the memo key; correctness
-        # requires poke() to flush the memo and resolve immediately — a
+        # requires poke() to flush the memo and re-solve at the flush for
+        # the poke's instant (no virtual time passes in between) — a
         # stale hit would keep the 10 B/s rate and finish at 12s.
         assert engine.now == pytest.approx(18.0)
 

@@ -1,0 +1,305 @@
+"""Three-way solver oracle and incremental-recompute strategy tests (PR-10).
+
+The vectorized backend raises the stakes on the byte-identity contract:
+``vector`` (batched numpy fixed point), ``fast`` (scalar equivalence
+classes) and ``reference`` (per-flow oracle) must agree *bit for bit* on
+randomized flow sets — mixed kinds, localities, shared resources, the
+real Optane device model and opaque stateful resources that bypass the
+memo.  The network-level tests pin the incremental strategy: untouched
+connected components replay cached rates (``solver_components_skipped``),
+pokes defer their solve to the end-of-timestamp flush, and the numpy-less
+fallback lane produces identical simulations.
+"""
+
+import math
+import random
+
+import pytest
+
+import repro.sim.flow as flow_module
+from repro.pmem.calibration import DEFAULT_CALIBRATION
+from repro.pmem.device import OptaneDeviceResource
+from repro.sim.engine import Engine
+from repro.sim.flow import (
+    SOLVER_FAST,
+    SOLVER_REFERENCE,
+    SOLVER_VECTOR,
+    CapacityResource,
+    Flow,
+    FlowNetwork,
+    default_solver,
+    numpy_available,
+    solve_flow_set,
+)
+from repro.units import KiB
+from tests.test_solver_equivalence import (
+    assert_results_identical,
+    clone_flow,
+    make_flow,
+)
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy unavailable; vector backend dormant"
+)
+
+
+class _OpaqueStateful(CapacityResource):
+    """Overrides ``observe`` without a token protocol: memo must bypass."""
+
+    def observe(self, now, load):
+        pass
+
+
+def random_flow_set(seed):
+    """A seeded mixed workload over shared, device and opaque resources."""
+    rng = random.Random(seed)
+    shared = CapacityResource(
+        "shared", lambda load: 120.0 / (1.0 + 0.3 * load.n_total)
+    )
+    side = CapacityResource(
+        "side", lambda load: 50.0 / (1.0 + 0.5 * load.n_reads)
+    )
+    device = OptaneDeviceResource("pmem[0]", DEFAULT_CALIBRATION)
+    opaque = _OpaqueStateful(
+        "opaque", lambda load: 80.0 / (1.0 + 0.1 * load.n_writes)
+    )
+    pools = [
+        (shared,),
+        (side,),
+        (shared, side),
+        (device,),
+        (shared, opaque),
+    ]
+    flows = []
+    for i in range(rng.randrange(8, 28)):
+        flow = make_flow(
+            nbytes=rng.uniform(1.0, 1e6),
+            kind=rng.choice(("read", "write")),
+            remote=rng.random() < 0.4,
+            resources=rng.choice(pools),
+            self_cap=rng.choice((math.inf, 2e9, 4e9, 40.0)),
+            op_bytes=rng.choice((256.0, 4 * KiB, 64 * KiB, 256 * KiB)),
+            issue_weight=rng.choice((1.0, 1.0, 0.6)),
+            label=f"f{i}",
+        )
+        if rng.random() < 0.3:  # some flows resume mid-transfer
+            flow.duty = rng.uniform(0.05, 1.0)
+        flows.append(flow)
+    return flows
+
+
+class TestThreeWayByteIdentity:
+    @needs_numpy
+    @pytest.mark.parametrize("seed", range(12))
+    def test_vector_fast_reference_bit_identical(self, seed, monkeypatch):
+        # Force the batched path even on small class counts: the cutover
+        # is a dispatch decision, never a semantics one.
+        monkeypatch.setattr(flow_module, "VECTOR_MIN_CLASSES", 0)
+        flows = random_flow_set(seed)
+        vec_flows = [clone_flow(f) for f in flows]
+        fast_flows = [clone_flow(f) for f in flows]
+        ref_flows = [clone_flow(f) for f in flows]
+        vec = solve_flow_set(vec_flows, solver=SOLVER_VECTOR)
+        fast = solve_flow_set(fast_flows, solver=SOLVER_FAST)
+        ref = solve_flow_set(ref_flows, solver=SOLVER_REFERENCE)
+        assert_results_identical(vec_flows, vec, ref_flows, ref)
+        assert_results_identical(fast_flows, fast, ref_flows, ref)
+
+    @needs_numpy
+    def test_cutover_is_pure_dispatch(self, monkeypatch):
+        """Rates agree bitwise on both sides of VECTOR_MIN_CLASSES."""
+        flows = random_flow_set(99)
+        monkeypatch.setattr(flow_module, "VECTOR_MIN_CLASSES", 0)
+        batched = [clone_flow(f) for f in flows]
+        low = solve_flow_set(batched, solver=SOLVER_VECTOR)
+        monkeypatch.setattr(flow_module, "VECTOR_MIN_CLASSES", 10_000)
+        scalar = [clone_flow(f) for f in flows]
+        high = solve_flow_set(scalar, solver=SOLVER_VECTOR)
+        for bf, sf in zip(batched, scalar):
+            assert low.rates[bf] == high.rates[sf]
+            assert bf.duty == sf.duty
+
+
+class TestNumpyFallback:
+    def test_vector_without_numpy_matches_fast(self, monkeypatch):
+        monkeypatch.setattr(flow_module, "_np", None)
+        assert not numpy_available()
+        flows = random_flow_set(3)
+        vec_flows = [clone_flow(f) for f in flows]
+        fast_flows = [clone_flow(f) for f in flows]
+        vec = solve_flow_set(vec_flows, solver=SOLVER_VECTOR)
+        fast = solve_flow_set(fast_flows, solver=SOLVER_FAST)
+        assert vec.iterations == fast.iterations
+        for vf, ff in zip(vec_flows, fast_flows):
+            assert vec.rates[vf] == fast.rates[ff]
+            assert vf.duty == ff.duty
+
+    def test_default_solver_downgrades_without_numpy(self, monkeypatch):
+        monkeypatch.delenv(flow_module.SOLVER_ENV, raising=False)
+        monkeypatch.setattr(flow_module, "_np", None)
+        assert default_solver() == SOLVER_FAST
+
+    @needs_numpy
+    def test_default_solver_prefers_vector(self, monkeypatch):
+        monkeypatch.delenv(flow_module.SOLVER_ENV, raising=False)
+        assert default_solver() == SOLVER_VECTOR
+
+
+class TestVectorBatches:
+    @needs_numpy
+    def test_batches_counted_on_network(self, monkeypatch):
+        monkeypatch.setattr(flow_module, "VECTOR_MIN_CLASSES", 0)
+        engine = Engine()
+        net = FlowNetwork(engine, solver=SOLVER_VECTOR)
+        r = CapacityResource("r", lambda load: 10.0)
+
+        def body(nbytes):
+            yield net.transfer(make_flow(nbytes=nbytes, resources=[r]))
+
+        for i in range(4):
+            engine.spawn(body(10.0 * (i + 1)), name=f"p{i}")
+        engine.run()
+        assert net.vector_batches > 0
+
+    def test_scalar_network_reports_no_batches(self):
+        engine = Engine()
+        net = FlowNetwork(engine, solver=SOLVER_FAST)
+        r = CapacityResource("r", lambda load: 10.0)
+
+        def body():
+            yield net.transfer(make_flow(nbytes=20.0, resources=[r]))
+
+        engine.spawn(body(), name="p")
+        engine.run()
+        assert net.vector_batches == 0
+
+
+class TestDirtyComponents:
+    def test_untouched_component_replays_cached_rates(self):
+        """A completion in one component must not re-solve the other."""
+        engine = Engine()
+        net = FlowNetwork(engine)
+        ra = CapacityResource("a", lambda load: 10.0)
+        rb = CapacityResource("b", lambda load: 10.0)
+        done = {}
+
+        def body(name, resource, nbytes):
+            yield net.transfer(
+                make_flow(nbytes=nbytes, resources=[resource], label=name)
+            )
+            done[name] = engine.now
+
+        engine.spawn(body("a", ra, 50.0), name="a")
+        engine.spawn(body("b1", rb, 30.0), name="b1")
+        engine.spawn(body("b2", rb, 80.0), name="b2")
+        engine.run()
+        # When "a" finishes at t=5, component {rb} saw no membership or
+        # token change: its rates replay from the cache.
+        assert net.solver_components_skipped > 0
+        assert done["a"] == pytest.approx(5.0)
+        assert done["b1"] == pytest.approx(6.0)  # 30 B at 5 B/s
+        assert done["b2"] == pytest.approx(11.0)  # 30 B at 5 + 50 B at 10
+
+    def test_targeted_poke_leaves_other_component_alone(self):
+        """poke(resource) invalidates only the named resource's component."""
+        engine = Engine()
+        net = FlowNetwork(engine)
+        state = {"capacity": 10.0}
+        ra = CapacityResource("steady", lambda load: 10.0)
+        rb = CapacityResource("mutable", lambda load: state["capacity"])
+        done = {}
+
+        def body(name, resource, nbytes):
+            yield net.transfer(
+                make_flow(nbytes=nbytes, resources=[resource], label=name)
+            )
+            done[name] = engine.now
+
+        def throttle():
+            state["capacity"] = 5.0
+            net.poke(rb)
+
+        engine.spawn(body("steady", ra, 100.0), name="steady")
+        engine.spawn(body("victim", rb, 100.0), name="victim")
+        engine.schedule(2.0, throttle)
+        engine.run()
+        # The steady component's solve is skipped at the poke's flush.
+        assert net.solver_components_skipped > 0
+        assert done["steady"] == pytest.approx(10.0)
+        assert done["victim"] == pytest.approx(18.0)  # 20 B at 10 + 80 at 5
+
+
+class TestGtcReuse:
+    def test_gtc_workflow_reuses_solver_work(self):
+        """The historical GTC pathology — memo hit rate pinned at 0.0 —
+        is fixed: read-only phases memo-hit across the congestion EWMA's
+        drift under the default solver."""
+        from repro.apps.gtc import gtc_workflow
+        from repro.core.configs import P_LOCR
+        from repro.obs.capture import observe_workflow
+
+        observation = observe_workflow(
+            gtc_workflow(ranks=4, iterations=2), P_LOCR
+        )
+        stats = observation.solver_stats
+        reused = stats.get("solver_memo_hits", 0) + stats.get(
+            "solver_components_skipped", 0
+        )
+        assert reused > 0
+        hits = stats.get("solver_memo_hits", 0)
+        attempts = hits + stats.get("solver_memo_misses", 0)
+        assert attempts > 0 and hits / attempts > 0
+
+
+class TestPokeDeferral:
+    def test_poke_defers_solve_to_flush(self):
+        """Same-instant poke bursts cost one solve, not one per poke."""
+        engine = Engine()
+        net = FlowNetwork(engine)
+        state = {"capacity": 10.0}
+        r = CapacityResource("mutable", lambda load: state["capacity"])
+
+        def body():
+            yield net.transfer(make_flow(nbytes=100.0, resources=[r]))
+
+        recorded = {}
+
+        def burst():
+            state["capacity"] = 5.0
+            before = net.recompute_count
+            coalesced = net.recomputes_coalesced
+            for _ in range(3):
+                net.poke()
+            recorded["solved_inline"] = net.recompute_count - before
+            recorded["absorbed"] = net.recomputes_coalesced - coalesced
+
+        engine.spawn(body(), name="p")
+        engine.schedule(2.0, burst)
+        engine.run()
+        assert recorded["solved_inline"] == 0  # deferred to the flush
+        assert recorded["absorbed"] == 2  # pokes 2 and 3 fold into 1
+        assert engine.now == pytest.approx(18.0)
+
+    def test_uncoalesced_poke_solves_inline(self):
+        """With coalescing off, poke() keeps the synchronous semantics."""
+        engine = Engine()
+        net = FlowNetwork(engine, coalesce=False)
+        state = {"capacity": 10.0}
+        r = CapacityResource("mutable", lambda load: state["capacity"])
+
+        def body():
+            yield net.transfer(make_flow(nbytes=100.0, resources=[r]))
+
+        recorded = {}
+
+        def throttle():
+            state["capacity"] = 5.0
+            before = net.recompute_count
+            net.poke()
+            recorded["solved_inline"] = net.recompute_count - before
+
+        engine.spawn(body(), name="p")
+        engine.schedule(2.0, throttle)
+        engine.run()
+        assert recorded["solved_inline"] == 1
+        assert engine.now == pytest.approx(18.0)

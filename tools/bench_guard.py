@@ -11,10 +11,16 @@ and ``benchmarks/bench_headline.py``) into the committed
   "fast-path vs. original solver" ratio stays visible in the artifact.
 * ``compare`` — check a fresh export against the committed baseline:
   wall-time medians must stay within ``--tolerance`` (default +/-20 %),
-  and the deterministic work counters (solver iterations, events, memo
-  hit rate, makespan) must not drift at all — a wall regression with
-  unchanged counters is host noise or allocator churn, one *with* counter
-  drift is a solver-strategy change and fails loudly either way.
+  events/s must stay above the baseline's absolute ``throughput_floors``
+  (a ratchet recorded once and carried forward, so a slow creep across
+  many PRs still trips it), and the deterministic work counters (solver
+  iterations, events, memo hit rate, makespan) must not drift at all — a
+  wall regression with unchanged counters is host noise or allocator
+  churn, one *with* counter drift is a solver-strategy change and fails
+  loudly either way.  ``--counters-only`` skips the wall and floor
+  checks for lanes with different host economics (the no-numpy CI lane
+  runs the pure-Python fallback, which is legitimately slower but must
+  produce byte-identical work counters).
 
 Usage::
 
@@ -46,6 +52,11 @@ COUNTER_FIELDS = (
     "memo_hit_rate",
     "makespan",
 )
+
+#: Fraction of the measured events/s recorded as the absolute floor when
+#: a baseline is first recorded (or a benchmark first appears).  Floors
+#: are then carried forward verbatim — a ratchet, not a moving target.
+FLOOR_FRACTION = 0.75
 
 
 def distill(raw: Dict) -> Dict[str, Dict[str, float]]:
@@ -114,6 +125,15 @@ def record(args: argparse.Namespace) -> int:
             if now and then:
                 speedups[name] = then / now
         baseline["speedup_vs_pre_pr"] = speedups
+    # Throughput floors ratchet: existing floors survive re-recording;
+    # benchmarks without one get FLOOR_FRACTION of the measured rate.
+    floors = dict((previous or {}).get("throughput_floors", {}))
+    for name, entry in benchmarks.items():
+        rate = entry.get("events_per_second")
+        if rate and name not in floors:
+            floors[name] = round(rate * FLOOR_FRACTION)
+    if floors:
+        baseline["throughput_floors"] = floors
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(baseline, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -125,7 +145,10 @@ def record(args: argparse.Namespace) -> int:
 
 def compare(args: argparse.Namespace) -> int:
     current = distill(load_json(args.export))
-    baseline = load_json(args.baseline)["benchmarks"]
+    document = load_json(args.baseline)
+    baseline = document["benchmarks"]
+    floors = document.get("throughput_floors", {})
+    counters_only = getattr(args, "counters_only", False)
     failures = []
     for name, expected in sorted(baseline.items()):
         measured = current.get(name)
@@ -136,12 +159,20 @@ def compare(args: argparse.Namespace) -> int:
         now = measured["median_wall_seconds"]
         drift = (now - then) / then
         marker = "OK"
-        if abs(drift) > args.tolerance:
+        if not counters_only and abs(drift) > args.tolerance:
             marker = "FAIL"
             failures.append(
                 f"{name}: median wall {now * 1e3:.2f} ms vs baseline "
                 f"{then * 1e3:.2f} ms ({drift:+.1%}, tolerance "
                 f"+/-{args.tolerance:.0%})"
+            )
+        floor = floors.get(name)
+        rate = measured.get("events_per_second", 0.0)
+        if not counters_only and floor and rate < floor:
+            marker = "FAIL"
+            failures.append(
+                f"{name}: {rate:.0f} events/s is below the committed "
+                f"floor of {floor:.0f} — absolute throughput regression"
             )
         print(f"{marker:4} {name}: wall {now * 1e3:.2f} ms ({drift:+.1%})")
         for field in COUNTER_FIELDS:
@@ -182,6 +213,13 @@ def main(argv=None) -> int:
     cmp_.add_argument("export", help="pytest-benchmark JSON export")
     cmp_.add_argument("--baseline", default="BENCH_simcore.json")
     cmp_.add_argument("--tolerance", type=float, default=WALL_TOLERANCE)
+    cmp_.add_argument(
+        "--counters-only",
+        action="store_true",
+        help="check only the deterministic work counters (skip wall-time "
+        "and throughput-floor guards); for lanes whose host economics "
+        "differ, e.g. the pure-Python no-numpy fallback",
+    )
     cmp_.set_defaults(func=compare)
 
     args = parser.parse_args(argv)
